@@ -1,0 +1,349 @@
+(* memx — command-line front end for the memristive-crossbar synthesis and
+   defect-tolerance library.
+
+   Sub-commands:
+     synth      cost a PLA (or named benchmark) two-level and multi-level
+     map        defect-tolerant mapping on a randomly defective crossbar
+     sim        evaluate a function on the simulated crossbar
+     export     write the multi-level NAND netlist (Verilog/DOT) or the PLA
+     show       render the programmed crossbar as ASCII art
+     bench      list the built-in benchmark suite
+     experiment run a paper experiment (fig6 | table1 | table2 | yield |
+                mldefect | ratesweep | ablation | tradeoff | aging) *)
+
+open Cmdliner
+
+let setup_logs verbosity =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level verbosity
+
+let verbosity =
+  let env = Cmd.Env.info "MEMX_VERBOSITY" in
+  Term.(const setup_logs $ Logs_cli.level ~env ())
+
+(* --- shared loading of a function: benchmark name or PLA file --- *)
+
+let load_cover spec =
+  if Sys.file_exists spec then begin
+    let parsed = Mcx.Logic.Pla.parse_file spec in
+    Ok parsed.Mcx.Logic.Pla.cover
+  end
+  else
+    match Mcx.Benchmarks.Suite.find spec with
+    | bench -> Ok (Mcx.Benchmarks.Suite.cover bench)
+    | exception Not_found ->
+      Error
+        (Printf.sprintf "%S is neither a PLA file nor a known benchmark (try: memx bench)"
+           spec)
+
+let cover_arg =
+  let doc = "Function to process: a PLA file path or a built-in benchmark name." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FUNCTION" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for defect injection." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    Printf.eprintf "memx: %s\n" msg;
+    exit 1
+
+(* --- synth --- *)
+
+let synth_run () spec include_il_row =
+  let cover = or_die (load_cover spec) in
+  let report kind (r : Mcx.Crossbar.Cost.report) =
+    Printf.printf "%-12s %4d x %-4d area %7d  switches %6d  IR %5.1f%%\n" kind
+      r.Mcx.Crossbar.Cost.rows r.Mcx.Crossbar.Cost.cols r.Mcx.Crossbar.Cost.area
+      r.Mcx.Crossbar.Cost.switches r.Mcx.Crossbar.Cost.inclusion_ratio
+  in
+  Printf.printf "function: %d inputs, %d outputs, %d products\n"
+    (Mcx.Logic.Mo_cover.n_inputs cover)
+    (Mcx.Logic.Mo_cover.n_outputs cover)
+    (Mcx.Logic.Mo_cover.product_count cover);
+  report "two-level" (Mcx.Crossbar.Cost.two_level ~include_il_row cover);
+  let _, dual_report, used_dual = Mcx.Crossbar.Cost.dual_choice ~include_il_row cover in
+  if used_dual then report "dual (f')" dual_report
+  else Printf.printf "dual (f')    not cheaper\n";
+  let mapped = Mcx.Netlist.Tech_map.map_mo cover in
+  report "multi-level" (Mcx.Crossbar.Cost.multi_level mapped);
+  Printf.printf "multi-level: %d NAND gates, %d inner connections, %d levels\n"
+    (Mcx.Netlist.Network.gate_count mapped.Mcx.Netlist.Tech_map.network)
+    (Mcx.Netlist.Network.inner_connection_count mapped.Mcx.Netlist.Tech_map.network)
+    (Mcx.Netlist.Network.levels mapped.Mcx.Netlist.Tech_map.network)
+
+let synth_cmd =
+  let include_il =
+    Arg.(value & flag & info [ "il-row" ] ~doc:"Count the input-latch row (Fig. 3 model).")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Cost a function two-level and multi-level.")
+    Term.(const synth_run $ verbosity $ cover_arg $ include_il)
+
+(* --- map --- *)
+
+let map_run () spec rate seed algorithm verify =
+  let cover = or_die (load_cover spec) in
+  let fm = Mcx.Crossbar.Function_matrix.build cover in
+  let geometry = fm.Mcx.Crossbar.Function_matrix.geometry in
+  let prng = Mcx.Util.Prng.create seed in
+  let defects =
+    Mcx.Crossbar.Defect_map.random prng
+      ~rows:(Mcx.Crossbar.Geometry.rows geometry)
+      ~cols:(Mcx.Crossbar.Geometry.cols geometry)
+      ~open_rate:rate ~closed_rate:0.
+  in
+  Printf.printf "optimum crossbar %d x %d, %d stuck-open defects injected (rate %.1f%%)\n"
+    (Mcx.Crossbar.Geometry.rows geometry)
+    (Mcx.Crossbar.Geometry.cols geometry)
+    (Mcx.Crossbar.Defect_map.count defects Mcx.Crossbar.Junction.Stuck_open)
+    (100. *. rate);
+  let algorithm = if algorithm = "exact" then Mcx.Exact else Mcx.Hybrid in
+  match Mcx.map_defect_tolerant ~algorithm cover defects with
+  | None ->
+    Printf.printf "no valid mapping found\n";
+    exit 3
+  | Some layout ->
+    Printf.printf "valid mapping found; row assignment:\n  %s\n"
+      (String.concat " "
+         (Array.to_list
+            (Array.mapi (fun i t -> Printf.sprintf "%d->H%d" i t)
+               layout.Mcx.Crossbar.Layout.row_assignment)));
+    if verify then
+      if Mcx.Logic.Mo_cover.n_inputs cover <= 16 then
+        Printf.printf "exhaustive simulation under defects: %s\n"
+          (if Mcx.verify ~defects layout then "MATCH" else "MISMATCH")
+      else Printf.printf "function too wide for exhaustive verification (> 16 inputs)\n"
+
+let map_cmd =
+  let rate =
+    Arg.(value & opt float 0.10 & info [ "rate" ] ~docv:"P" ~doc:"Stuck-open defect rate.")
+  in
+  let algorithm =
+    Arg.(
+      value
+      & opt (enum [ ("hybrid", "hybrid"); ("exact", "exact") ]) "hybrid"
+      & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"Mapping algorithm (hybrid or exact).")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Simulate the mapped crossbar exhaustively.")
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Defect-tolerant mapping onto a randomly defective crossbar.")
+    Term.(const map_run $ verbosity $ cover_arg $ rate $ seed_arg $ algorithm $ verify)
+
+(* --- sim --- *)
+
+let sim_run () spec input_bits =
+  let cover = or_die (load_cover spec) in
+  let n = Mcx.Logic.Mo_cover.n_inputs cover in
+  if String.length input_bits <> n then begin
+    Printf.eprintf "memx: input has %d bits, function expects %d\n"
+      (String.length input_bits) n;
+    exit 1
+  end;
+  let v =
+    Array.init n (fun i ->
+        match input_bits.[i] with
+        | '0' -> false
+        | '1' -> true
+        | c ->
+          Printf.eprintf "memx: bad input bit %C\n" c;
+          exit 1)
+  in
+  let layout = Mcx.Crossbar.Layout.of_cover cover in
+  let out = Mcx.simulate layout v in
+  Printf.printf "crossbar outputs: %s\n"
+    (String.init (Array.length out) (fun k -> if out.(k) then '1' else '0'));
+  let reference = Mcx.Logic.Mo_cover.eval cover v in
+  Printf.printf "reference (SOP):  %s\n"
+    (String.init (Array.length reference) (fun k -> if reference.(k) then '1' else '0'))
+
+let sim_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"BITS" ~doc:"Input assignment, e.g. 10110 (bit i = variable xi).")
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Evaluate one input on the simulated crossbar.")
+    Term.(const sim_run $ verbosity $ cover_arg $ input)
+
+(* --- export --- *)
+
+let export_run () spec format output =
+  let cover = or_die (load_cover spec) in
+  let text =
+    match format with
+    | "verilog" -> Mcx.Netlist.Export.to_verilog (Mcx.Netlist.Tech_map.map_mo cover)
+    | "dot" -> Mcx.Netlist.Export.to_dot (Mcx.Netlist.Tech_map.map_mo cover)
+    | "pla" -> Mcx.Logic.Pla.to_string cover
+    | _ -> assert false
+  in
+  match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "written to %s\n" path
+
+let export_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("verilog", "verilog"); ("dot", "dot"); ("pla", "pla") ]) "verilog"
+      & info [ "format"; "f" ] ~docv:"FMT"
+          ~doc:"Output format: verilog (NAND netlist), dot (Graphviz) or pla.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export the multi-level NAND netlist or the PLA.")
+    Term.(const export_run $ verbosity $ cover_arg $ format $ output)
+
+(* --- show --- *)
+
+let show_run () spec multilevel rate seed =
+  let cover = or_die (load_cover spec) in
+  let defects_for rows cols =
+    if rate <= 0. then None
+    else begin
+      let prng = Mcx.Util.Prng.create seed in
+      Some (Mcx.Crossbar.Defect_map.random prng ~rows ~cols ~open_rate:rate ~closed_rate:0.)
+    end
+  in
+  if multilevel then begin
+    let ml = Mcx.Crossbar.Multilevel.place (Mcx.Netlist.Tech_map.map_mo cover) in
+    let defects = defects_for ml.Mcx.Crossbar.Multilevel.physical_rows ml.Mcx.Crossbar.Multilevel.physical_cols in
+    print_string (Mcx.Crossbar.Render.multi_level ?defects ml)
+  end
+  else begin
+    let layout = Mcx.Crossbar.Layout.of_cover cover in
+    let defects = defects_for layout.Mcx.Crossbar.Layout.physical_rows layout.Mcx.Crossbar.Layout.physical_cols in
+    print_string (Mcx.Crossbar.Render.two_level ?defects layout)
+  end
+
+let show_cmd =
+  let multilevel =
+    Arg.(value & flag & info [ "multilevel"; "m" ] ~doc:"Render the multi-level design.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "rate" ] ~docv:"P" ~doc:"Overlay random stuck-open defects at this rate.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Render the programmed crossbar as ASCII art.")
+    Term.(const show_run $ verbosity $ cover_arg $ multilevel $ rate $ seed_arg)
+
+(* --- bench --- *)
+
+let bench_run () =
+  let table =
+    Mcx.Util.Texttable.create [ "name"; "I"; "O"; "P (ours)"; "source"; "tables" ]
+  in
+  List.iter
+    (fun b ->
+      let cover = Mcx.Benchmarks.Suite.cover b in
+      Mcx.Util.Texttable.add_row table
+        [
+          b.Mcx.Benchmarks.Suite.name;
+          string_of_int (Mcx.Logic.Mo_cover.n_inputs cover);
+          string_of_int (Mcx.Logic.Mo_cover.n_outputs cover);
+          string_of_int (Mcx.Logic.Mo_cover.product_count cover);
+          (match b.Mcx.Benchmarks.Suite.source with
+          | Mcx.Benchmarks.Suite.Arithmetic _ -> "arithmetic"
+          | Mcx.Benchmarks.Suite.Synthetic _ -> "synthetic");
+          String.concat "+"
+            (List.filter
+               (fun s -> s <> "")
+               [
+                 (if b.Mcx.Benchmarks.Suite.in_table1 then "I" else "");
+                 (if b.Mcx.Benchmarks.Suite.in_table2 then "II" else "");
+               ]);
+        ])
+    Mcx.Benchmarks.Suite.all;
+  Mcx.Util.Texttable.print table
+
+let bench_cmd =
+  Cmd.v
+    (Cmd.info "bench" ~doc:"List the built-in benchmark suite.")
+    Term.(const bench_run $ verbosity)
+
+(* --- experiment --- *)
+
+let experiment_run () name samples seed =
+  match name with
+  | "fig6" ->
+    let panels = Mcx.Experiments.Fig6.run ?samples ~seed () in
+    print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Fig6.summary_table panels))
+  | "table1" ->
+    print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Table1.to_table (Mcx.Experiments.Table1.run ())))
+  | "table2" ->
+    let rows = Mcx.Experiments.Table2.run ?samples ~seed () in
+    print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Table2.to_table rows))
+  | "yield" ->
+    let sweep = Mcx.Experiments.Yield.run ?samples ~seed ~benchmark:"rd53" () in
+    print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Yield.to_table sweep))
+  | "mldefect" ->
+    let result = Mcx.Experiments.Mldefect.run ?samples ~seed ~benchmark:"misex1" () in
+    print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Mldefect.to_table result))
+  | "ratesweep" ->
+    let sweep = Mcx.Experiments.Ratesweep.run ?samples ~seed ~benchmark:"rd73" () in
+    print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Ratesweep.to_table sweep))
+  | "ablation" ->
+    let rows = Mcx.Experiments.Ablation.factoring ?samples ~seed () in
+    print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Ablation.factoring_table rows));
+    let rows = Mcx.Experiments.Ablation.ordering ?samples ~seed () in
+    print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Ablation.ordering_table rows))
+  | "tradeoff" ->
+    print_string
+      (Mcx.Util.Texttable.render (Mcx.Experiments.Tradeoff.to_table (Mcx.Experiments.Tradeoff.run ())))
+  | "aging" ->
+    let r = Mcx.Experiments.Aging.run ?samples ~seed ~benchmark:"rd53" () in
+    print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Aging.to_table [ r ]))
+  | "transient" ->
+    let r = Mcx.Experiments.Transient.run ?evaluations:samples ~seed ~benchmark:"rd53" () in
+    print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Transient.to_table r))
+  | "margin" ->
+    let result = Mcx.Experiments.Margin.run () in
+    let curve, rows = Mcx.Experiments.Margin.to_tables result in
+    print_string (Mcx.Util.Texttable.render curve);
+    print_string (Mcx.Util.Texttable.render rows)
+  | other ->
+    Printf.eprintf
+      "memx: unknown experiment %S \
+       (fig6|table1|table2|yield|mldefect|ratesweep|ablation|tradeoff|aging|transient|margin)\n"
+      other;
+    exit 1
+
+let experiment_cmd =
+  let experiment_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"fig6, table1, table2, yield, mldefect, ratesweep, ablation, tradeoff, aging, transient or margin.")
+  in
+  let samples =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "samples" ] ~docv:"N" ~doc:"Monte Carlo samples (default: paper-scale).")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one of the paper's experiments.")
+    Term.(const experiment_run $ verbosity $ experiment_name $ samples $ seed_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "memx" ~version:"1.0.0"
+       ~doc:"Logic synthesis and defect tolerance for memristive crossbar arrays.")
+    [ synth_cmd; map_cmd; sim_cmd; export_cmd; show_cmd; bench_cmd; experiment_cmd ]
+
+let () = exit (Cmd.eval main)

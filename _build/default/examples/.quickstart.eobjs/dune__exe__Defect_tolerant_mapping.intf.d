@@ -1,0 +1,1 @@
+examples/defect_tolerant_mapping.mli:

@@ -1,0 +1,1 @@
+examples/field_repair.ml: Array Fun Mcx Printf

@@ -1,0 +1,1 @@
+examples/multilevel_synthesis.ml: List Mcx Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Mcx Printf String

@@ -1,0 +1,1 @@
+examples/yield_analysis.ml: List Mcx Printf

@@ -1,0 +1,56 @@
+(* Field aging and incremental repair.
+
+   A crossbar is mapped once at test time, then keeps losing junctions to
+   stuck-open faults while deployed. Remapping from scratch reprograms the
+   whole array; the repair engine instead moves only the rows the newest
+   fault broke. This example follows a single die of the squar5 benchmark
+   through its whole life and prints what each fault cost to fix.
+
+   Run with:  dune exec examples/field_repair.exe *)
+
+let () =
+  let cover = Mcx.Benchmarks.Suite.cover (Mcx.Benchmarks.Suite.find "squar5") in
+  let fm_struct = Mcx.Crossbar.Function_matrix.build cover in
+  let fm = fm_struct.Mcx.Crossbar.Function_matrix.matrix in
+  let rows = Mcx.Util.Bmatrix.rows fm and cols = Mcx.Util.Bmatrix.cols fm in
+  Printf.printf "squar5 mapped on its optimum %d x %d crossbar; injecting faults...\n\n" rows
+    cols;
+  let prng = Mcx.Util.Prng.create 77 in
+  let defects = Mcx.Crossbar.Defect_map.create ~rows ~cols in
+  let assignment = ref (Array.init rows Fun.id) in
+  let faults = ref 0 and repairs = ref 0 and total_moves = ref 0 in
+  let alive = ref true in
+  while !alive do
+    let r = Mcx.Util.Prng.int prng rows and c = Mcx.Util.Prng.int prng cols in
+    if
+      Mcx.Crossbar.Junction.defect_equal
+        (Mcx.Crossbar.Defect_map.get defects r c)
+        Mcx.Crossbar.Junction.Functional
+    then begin
+      Mcx.Crossbar.Defect_map.set defects r c Mcx.Crossbar.Junction.Stuck_open;
+      incr faults;
+      let cm = Mcx.Mapping.Matching.cm_of_defects defects in
+      match Mcx.Mapping.Repair.repair ~fm ~cm !assignment with
+      | Some { Mcx.Mapping.Repair.assignment = repaired; rows_touched } ->
+        if rows_touched > 0 then begin
+          incr repairs;
+          total_moves := !total_moves + rows_touched;
+          Printf.printf "fault #%3d at (%2d,%2d) broke the placement; repaired by moving %d row%s\n"
+            !faults r c rows_touched
+            (if rows_touched = 1 then "" else "s");
+          (* prove the repaired die still computes squares *)
+          let layout =
+            Mcx.Crossbar.Layout.place ~row_assignment:repaired fm_struct
+          in
+          assert (Mcx.verify ~defects layout)
+        end;
+        assignment := repaired
+      | None ->
+        Printf.printf "fault #%3d at (%2d,%2d): no valid mapping exists any more - die retired\n"
+          !faults r c;
+        alive := false
+    end
+  done;
+  Printf.printf "\nlifetime: %d faults absorbed, %d needed repairs, %.1f rows moved per repair\n"
+    (!faults - 1) !repairs
+    (if !repairs = 0 then 0. else float_of_int !total_moves /. float_of_int !repairs)

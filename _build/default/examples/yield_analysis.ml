@@ -1,0 +1,60 @@
+(* Yield vs redundancy — the paper's future-work study, runnable (§IV.A/§VI).
+
+   Stuck-at-closed defects poison an entire horizontal and vertical line,
+   so an optimum-size crossbar with even one closed defect in its used
+   area is unsalvageable. This example provisions spare lines and measures
+   how yield recovers, trading area for fault tolerance.
+
+   Run with:  dune exec examples/yield_analysis.exe *)
+
+let () =
+  let benchmark = "rd53" in
+  Printf.printf
+    "mapping yield for %s under 5%% stuck-open + 1%% stuck-closed defects\n\n" benchmark;
+  let sweep =
+    Mcx.Experiments.Yield.run ~samples:150 ~spare_levels:[ 0; 1; 2; 3; 4; 6; 8 ]
+      ~open_rate:0.05 ~closed_rate:0.01 ~seed:7 ~benchmark ()
+  in
+  print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Yield.to_table sweep));
+  print_newline ();
+
+  (* The headline numbers, spelled out. *)
+  (match (sweep.Mcx.Experiments.Yield.points, List.rev sweep.Mcx.Experiments.Yield.points) with
+  | first :: _, last :: _ ->
+    Printf.printf
+      "no spares: %.0f%% of dies map; %d spare lines (%.0f%% extra area): %.0f%%\n"
+      first.Mcx.Experiments.Yield.psucc last.Mcx.Experiments.Yield.spares
+      last.Mcx.Experiments.Yield.area_overhead last.Mcx.Experiments.Yield.psucc
+  | _, _ -> ());
+
+  (* One concrete salvage, end to end. *)
+  let bench = Mcx.Benchmarks.Suite.find benchmark in
+  let cover = Mcx.Benchmarks.Suite.cover bench in
+  let fm = Mcx.Crossbar.Function_matrix.build cover in
+  let geometry = fm.Mcx.Crossbar.Function_matrix.geometry in
+  let spares = 4 in
+  let rows = Mcx.Crossbar.Geometry.rows geometry + spares in
+  let cols = Mcx.Crossbar.Geometry.cols geometry + spares in
+  let prng = Mcx.Util.Prng.create 11 in
+  let rec salvage attempt =
+    if attempt > 50 then print_endline "no salvageable die drawn (unlucky seed)"
+    else begin
+      let defects =
+        Mcx.Crossbar.Defect_map.random prng ~rows ~cols ~open_rate:0.05 ~closed_rate:0.01
+      in
+      let closed = Mcx.Crossbar.Defect_map.count defects Mcx.Crossbar.Junction.Stuck_closed in
+      match Mcx.Mapping.Redundant.map ~prng ~algorithm:`Hybrid fm defects with
+      | Some placement when closed > 0 ->
+        let layout =
+          Mcx.Crossbar.Layout.place ~row_assignment:placement.Mcx.Mapping.Redundant.row_assignment
+            ~col_assignment:placement.Mcx.Mapping.Redundant.col_assignment ~physical_rows:rows
+            ~physical_cols:cols fm
+        in
+        Printf.printf
+          "die with %d stuck-closed defect(s) salvaged using spare lines; simulation: %s\n"
+          closed
+          (if Mcx.verify ~defects layout then "computes rd53 exactly" else "MISMATCH")
+      | Some _ | None -> salvage (attempt + 1)
+    end
+  in
+  salvage 1

@@ -1,0 +1,1 @@
+lib/benchmarks/arith.ml: Array Cover Cube Fun List Literal Mcx_logic Mo_cover Mo_minimize Qm Truthtable

@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Arith Hashtbl List Mcx_logic Synthetic

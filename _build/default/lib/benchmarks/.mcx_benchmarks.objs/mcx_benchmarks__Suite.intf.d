@@ -1,0 +1,1 @@
+lib/benchmarks/suite.mli: Mcx_logic Synthetic

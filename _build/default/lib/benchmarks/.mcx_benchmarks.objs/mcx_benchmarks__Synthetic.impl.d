@@ -1,0 +1,1 @@
+lib/benchmarks/synthetic.ml: Array Cube Float Hashtbl List Literal Mcx_logic Mcx_util Mo_cover

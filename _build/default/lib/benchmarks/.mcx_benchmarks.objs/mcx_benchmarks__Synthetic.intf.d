@@ -1,0 +1,1 @@
+lib/benchmarks/synthetic.mli: Mcx_logic

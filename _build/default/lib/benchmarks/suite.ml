@@ -1,0 +1,299 @@
+type source =
+  | Arithmetic of (unit -> Mcx_logic.Mo_cover.t)
+  | Synthetic of Synthetic.params
+
+type paper_data = {
+  two_level_area : int option;
+  inclusion_ratio : float option;
+  psucc_hba : float option;
+  psucc_ea : float option;
+  table1 : (int * int * int * int) option;
+}
+
+type t = {
+  name : string;
+  inputs : int;
+  outputs : int;
+  products : int;
+  source : source;
+  negation : source;
+  in_table1 : bool;
+  in_table2 : bool;
+  paper : paper_data;
+}
+
+let no_paper =
+  { two_level_area = None; inclusion_ratio = None; psucc_hba = None; psucc_ea = None; table1 = None }
+
+let synthetic ?(ir = 20.) ?(skew = 0.) ~seed ~inputs ~outputs ~products () =
+  Synthetic
+    {
+      Synthetic.n_inputs = inputs;
+      n_outputs = outputs;
+      n_products = products;
+      inclusion_ratio = ir;
+      seed;
+      skew;
+    }
+
+(* Arithmetic negations are exact output-wise complements. *)
+let complement_of source () =
+  match source with
+  | Arithmetic build -> Mcx_logic.Mo_cover.complement (build ())
+  | Synthetic _ -> invalid_arg "Suite: synthetic sources use stats-matched negations"
+
+let arith ?negation ~name ~inputs ~outputs ~products ~build ~in_table1 ~in_table2 ~paper () =
+  let source = Arithmetic build in
+  let negation =
+    match negation with
+    | Some build_neg -> Arithmetic build_neg
+    | None -> Arithmetic (complement_of source)
+  in
+  { name; inputs; outputs; products; source; negation; in_table1; in_table2; paper }
+
+let synth ~name ~inputs ~outputs ~products ?(ir = 20.) ?(skew = 0.) ~neg_products
+    ?(neg_ir = 20.) ~in_table1 ~in_table2 ~paper () =
+  {
+    name;
+    inputs;
+    outputs;
+    products;
+    source = synthetic ~ir ~skew ~seed:(Hashtbl.hash name) ~inputs ~outputs ~products ();
+    negation =
+      synthetic ~ir:neg_ir ~skew
+        ~seed:(Hashtbl.hash (name ^ "~neg"))
+        ~inputs ~outputs ~products:neg_products ();
+    in_table1;
+    in_table2;
+    paper;
+  }
+
+let all =
+  [
+    (* --- Table I + Table II circuits --- *)
+    arith ~name:"rd53" ~inputs:5 ~outputs:3 ~products:31 ~build:Arith.rd53 ~in_table1:true
+      ~in_table2:true
+      ~paper:
+        {
+          two_level_area = Some 544;
+          inclusion_ratio = Some 33.;
+          psucc_hba = Some 98.;
+          psucc_ea = Some 98.;
+          table1 = Some (544, 3000, 560, 2000);
+        }
+      ();
+    synth ~name:"con1" ~inputs:7 ~outputs:2 ~products:9 ~neg_products:9 ~in_table1:true
+      ~in_table2:false
+      ~paper:{ no_paper with table1 = Some (198, 480, 198, 527) }
+      ();
+    synth ~name:"misex1" ~inputs:8 ~outputs:7 ~products:12 ~ir:19. ~neg_products:46
+      ~in_table1:true ~in_table2:true
+      ~paper:
+        {
+          two_level_area = Some 570;
+          inclusion_ratio = Some 19.;
+          psucc_hba = Some 100.;
+          psucc_ea = Some 100.;
+          table1 = Some (570, 4836, 1590, 4161);
+        }
+      ();
+    synth ~name:"bw" ~inputs:5 ~outputs:28 ~products:22 ~ir:12. ~neg_products:26
+      ~in_table1:true ~in_table2:true
+      ~paper:
+        {
+          two_level_area = Some 3300;
+          inclusion_ratio = Some 12.;
+          psucc_hba = Some 100.;
+          psucc_ea = Some 100.;
+          table1 = Some (3300, 52875, 3564, 53110);
+        }
+      ();
+    arith ~name:"sqrt8" ~inputs:8 ~outputs:4 ~products:38 ~build:Arith.sqrt8 ~in_table1:true
+      ~in_table2:true
+      ~paper:
+        {
+          two_level_area = Some 792;
+          inclusion_ratio = Some 21.;
+          psucc_hba = Some 100.;
+          psucc_ea = Some 100.;
+          table1 = Some (1008, 2745, 792, 3300);
+        }
+      ();
+    arith ~name:"rd84" ~inputs:8 ~outputs:4 ~products:255 ~build:Arith.rd84 ~in_table1:true
+      ~in_table2:true
+      ~paper:
+        {
+          two_level_area = Some 6216;
+          inclusion_ratio = Some 33.;
+          psucc_hba = Some 82.;
+          psucc_ea = Some 89.;
+          table1 = Some (6216, 48124, 7128, 20276);
+        }
+      ();
+    synth ~name:"b12" ~inputs:15 ~outputs:9 ~products:43 ~neg_products:34 ~in_table1:true
+      ~in_table2:false
+      ~paper:{ no_paper with table1 = Some (2496, 7800, 2064, 2691) }
+      ();
+    (* t481 and cordic: structured stand-ins (see Arith) — random synthetic
+       covers carry no circuit structure, so they cannot exhibit the
+       multi-level wins these two benchmarks exist to demonstrate. *)
+    arith ~name:"t481" ~inputs:16 ~outputs:1 ~products:481 ~build:Arith.t481
+      ~negation:Arith.t481_negation ~in_table1:true ~in_table2:false
+      ~paper:{ no_paper with table1 = Some (16388, 5760, 12274, 8034) }
+      ();
+    arith ~name:"cordic" ~inputs:23 ~outputs:2 ~products:914 ~build:Arith.cordic
+      ~negation:Arith.cordic_negation ~in_table1:true ~in_table2:false
+      ~paper:{ no_paper with table1 = Some (45800, 9594, 59650, 10668) }
+      ();
+    (* --- Table II-only circuits --- *)
+    arith ~name:"squar5" ~inputs:5 ~outputs:8 ~products:25 ~build:Arith.squar5
+      ~in_table1:false ~in_table2:true
+      ~paper:
+        {
+          no_paper with
+          two_level_area = Some 858;
+          inclusion_ratio = Some 16.;
+          psucc_hba = Some 100.;
+          psucc_ea = Some 100.;
+        }
+      ();
+    arith ~name:"inc" ~inputs:7 ~outputs:9 ~products:30 ~build:Arith.inc ~in_table1:false
+      ~in_table2:true
+      ~paper:
+        {
+          no_paper with
+          two_level_area = Some 1248;
+          inclusion_ratio = Some 17.;
+          psucc_hba = Some 100.;
+          psucc_ea = Some 100.;
+        }
+      ();
+    synth ~name:"sao2" ~inputs:10 ~outputs:4 ~products:58 ~ir:29. ~neg_products:58
+      ~in_table1:false ~in_table2:true
+      ~paper:
+        {
+          no_paper with
+          two_level_area = Some 1736;
+          inclusion_ratio = Some 29.;
+          psucc_hba = Some 94.;
+          psucc_ea = Some 97.;
+        }
+      ();
+    arith ~name:"rd73" ~inputs:7 ~outputs:3 ~products:127 ~build:Arith.rd73
+      ~in_table1:false ~in_table2:true
+      ~paper:
+        {
+          no_paper with
+          two_level_area = Some 2600;
+          inclusion_ratio = Some 34.;
+          psucc_hba = Some 78.;
+          psucc_ea = Some 92.;
+        }
+      ();
+    (* clip: our arithmetic saturator (Arith.clip) minimizes to ~13
+       products — far denser logic hides behind the MCNC clip's 120
+       products, so the Table II entry uses the stats-matched synthetic
+       and the arithmetic version stays available for the examples. *)
+    synth ~name:"clip" ~inputs:9 ~outputs:5 ~products:120 ~ir:23. ~skew:1.0
+      ~neg_products:120 ~in_table1:false ~in_table2:true
+      ~paper:
+        {
+          no_paper with
+          two_level_area = Some 3500;
+          inclusion_ratio = Some 23.;
+          psucc_hba = Some 76.;
+          psucc_ea = Some 79.;
+        }
+      ();
+    synth ~name:"ex1010" ~inputs:10 ~outputs:10 ~products:284 ~ir:23. ~neg_products:284
+      ~in_table1:false ~in_table2:true
+      ~paper:
+        {
+          no_paper with
+          two_level_area = Some 11760;
+          inclusion_ratio = Some 23.;
+          psucc_hba = Some 100.;
+          psucc_ea = Some 100.;
+        }
+      ();
+    synth ~name:"table3" ~inputs:14 ~outputs:14 ~products:175 ~ir:25. ~neg_products:175
+      ~in_table1:false ~in_table2:true
+      ~paper:
+        {
+          no_paper with
+          two_level_area = Some 10584;
+          inclusion_ratio = Some 25.;
+          psucc_hba = Some 100.;
+          psucc_ea = Some 100.;
+        }
+      ();
+    synth ~name:"misex3c" ~inputs:14 ~outputs:14 ~products:197 ~ir:13. ~neg_products:197
+      ~in_table1:false ~in_table2:true
+      ~paper:
+        {
+          no_paper with
+          two_level_area = Some 11856;
+          inclusion_ratio = Some 13.;
+          psucc_hba = Some 100.;
+          psucc_ea = Some 100.;
+        }
+      ();
+    synth ~name:"exp5" ~inputs:8 ~outputs:63 ~products:74 ~ir:10. ~skew:0.2 ~neg_products:74
+      ~in_table1:false ~in_table2:true
+      ~paper:
+        {
+          no_paper with
+          two_level_area = Some 19454;
+          inclusion_ratio = Some 10.;
+          psucc_hba = Some 65.;
+          psucc_ea = Some 80.;
+        }
+      ();
+    synth ~name:"apex4" ~inputs:9 ~outputs:19 ~products:436 ~ir:21. ~neg_products:436
+      ~in_table1:false ~in_table2:true
+      ~paper:
+        {
+          no_paper with
+          two_level_area = Some 25480;
+          inclusion_ratio = Some 21.;
+          psucc_hba = Some 100.;
+          psucc_ea = Some 100.;
+        }
+      ();
+    synth ~name:"alu4" ~inputs:14 ~outputs:8 ~products:575 ~ir:19. ~neg_products:575
+      ~in_table1:false ~in_table2:true
+      ~paper:
+        {
+          no_paper with
+          two_level_area = Some 25652;
+          inclusion_ratio = Some 19.;
+          psucc_hba = Some 100.;
+          psucc_ea = Some 100.;
+        }
+      ();
+  ]
+
+let table1 = List.filter (fun b -> b.in_table1) all
+let table2 = List.filter (fun b -> b.in_table2) all
+
+let find name =
+  match List.find_opt (fun b -> b.name = name) all with
+  | Some b -> b
+  | None -> raise Not_found
+
+let memo : (string, Mcx_logic.Mo_cover.t) Hashtbl.t = Hashtbl.create 32
+
+let build key source =
+  match Hashtbl.find_opt memo key with
+  | Some cover -> cover
+  | None ->
+    let cover =
+      match source with
+      | Arithmetic f -> f ()
+      | Synthetic params -> Synthetic.generate params
+    in
+    Hashtbl.replace memo key cover;
+    cover
+
+let cover b = build b.name b.source
+let negated_cover b = build (b.name ^ "~neg") b.negation

@@ -1,0 +1,39 @@
+module Util = Mcx_util
+module Logic = Mcx_logic
+module Netlist = Mcx_netlist
+module Crossbar = Mcx_crossbar
+module Mapping = Mcx_mapping
+module Benchmarks = Mcx_benchmarks
+module Experiments = Mcx_experiments
+
+type algorithm = Hybrid | Exact
+
+let synthesize_two_level ?(include_il_row = false) ?(dual = true) cover =
+  let chosen, report, used_dual =
+    if dual then Mcx_crossbar.Cost.dual_choice ~include_il_row cover
+    else (cover, Mcx_crossbar.Cost.two_level ~include_il_row cover, false)
+  in
+  (Mcx_crossbar.Layout.of_cover ~include_il_row chosen, report, used_dual)
+
+let synthesize_multi_level ?fanin_limit cover =
+  let mapped = Mcx_netlist.Tech_map.map_mo ?fanin_limit cover in
+  (Mcx_crossbar.Multilevel.place mapped, Mcx_crossbar.Cost.multi_level mapped)
+
+let map_defect_tolerant ?(include_il_row = false) ~algorithm cover defects =
+  let fm = Mcx_crossbar.Function_matrix.build ~include_il_row cover in
+  let geometry = fm.Mcx_crossbar.Function_matrix.geometry in
+  if
+    Mcx_crossbar.Defect_map.rows defects <> Mcx_crossbar.Geometry.rows geometry
+    || Mcx_crossbar.Defect_map.cols defects <> Mcx_crossbar.Geometry.cols geometry
+  then invalid_arg "Mcx.map_defect_tolerant: defect map must match the optimum area";
+  let cm = Mcx_mapping.Matching.cm_of_defects defects in
+  let assignment =
+    match algorithm with
+    | Hybrid -> Mcx_mapping.Hybrid.map fm cm
+    | Exact -> Mcx_mapping.Exact.map fm cm
+  in
+  Option.map (fun row_assignment -> Mcx_crossbar.Layout.place ~row_assignment fm) assignment
+
+let verify ?defects layout = Mcx_crossbar.Sim.agrees_with_reference ?defects layout
+
+let simulate ?defects layout inputs = Mcx_crossbar.Sim.run ?defects layout inputs

@@ -1,0 +1,1 @@
+lib/crossbar/analog.ml: Bool Float Fun List

@@ -1,0 +1,1 @@
+lib/crossbar/cost.ml: Array Function_matrix Geometry Mcx_logic Mcx_netlist Mo_cover

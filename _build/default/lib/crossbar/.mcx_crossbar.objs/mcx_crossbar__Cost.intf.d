@@ -1,0 +1,1 @@
+lib/crossbar/cost.mli: Mcx_logic Mcx_netlist

@@ -1,0 +1,1 @@
+lib/crossbar/defect_map.ml: Bytes Format Fun Junction List Mcx_util Printf

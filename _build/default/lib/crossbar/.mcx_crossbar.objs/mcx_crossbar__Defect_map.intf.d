@@ -1,0 +1,1 @@
+lib/crossbar/defect_map.mli: Format Junction Mcx_util

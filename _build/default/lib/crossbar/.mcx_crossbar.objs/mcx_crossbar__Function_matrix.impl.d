@@ -1,0 +1,1 @@
+lib/crossbar/function_matrix.ml: Array Cube Format Fun Geometry List Mcx_logic Mcx_util Mo_cover

@@ -1,0 +1,1 @@
+lib/crossbar/function_matrix.mli: Format Geometry Mcx_logic Mcx_util

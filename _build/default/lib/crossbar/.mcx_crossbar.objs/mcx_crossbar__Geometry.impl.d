@@ -1,0 +1,1 @@
+lib/crossbar/geometry.ml: Format Mcx_logic

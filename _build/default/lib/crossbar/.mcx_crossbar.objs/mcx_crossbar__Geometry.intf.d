@@ -1,0 +1,1 @@
+lib/crossbar/geometry.mli: Format Mcx_logic

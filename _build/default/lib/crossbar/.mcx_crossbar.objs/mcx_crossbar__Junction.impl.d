@@ -1,0 +1,1 @@
+lib/crossbar/junction.ml: Format

@@ -1,0 +1,1 @@
+lib/crossbar/junction.mli: Format

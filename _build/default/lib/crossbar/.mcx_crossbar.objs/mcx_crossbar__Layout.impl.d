@@ -1,0 +1,1 @@
+lib/crossbar/layout.ml: Array Bmatrix Defect_map Fun Function_matrix Geometry Hashtbl Junction List Mcx_util Option Printf

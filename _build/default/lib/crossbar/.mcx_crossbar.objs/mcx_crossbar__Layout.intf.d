@@ -1,0 +1,1 @@
+lib/crossbar/layout.mli: Defect_map Function_matrix Mcx_logic Mcx_util

@@ -1,0 +1,1 @@
+lib/crossbar/multilevel.ml: Array Bmatrix Defect_map Fun Hashtbl Junction List Mcx_logic Mcx_netlist Mcx_util Network Option Signal Tech_map

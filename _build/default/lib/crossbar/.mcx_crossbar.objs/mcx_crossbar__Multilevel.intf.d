@@ -1,0 +1,1 @@
+lib/crossbar/multilevel.mli: Defect_map Mcx_logic Mcx_netlist Mcx_util

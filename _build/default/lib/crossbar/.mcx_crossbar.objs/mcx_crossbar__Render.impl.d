@@ -1,0 +1,1 @@
+lib/crossbar/render.ml: Array Bmatrix Buffer Defect_map Function_matrix Geometry Junction Layout Mcx_netlist Mcx_util Multilevel Printf String

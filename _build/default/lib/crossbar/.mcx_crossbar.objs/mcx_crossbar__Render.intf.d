@@ -1,0 +1,1 @@
+lib/crossbar/render.mli: Defect_map Layout Multilevel

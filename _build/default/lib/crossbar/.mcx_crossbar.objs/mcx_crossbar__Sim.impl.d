@@ -1,0 +1,1 @@
+lib/crossbar/sim.ml: Array Bmatrix Defect_map Function_matrix Geometry Junction Layout List Mcx_logic Mcx_util Mo_cover

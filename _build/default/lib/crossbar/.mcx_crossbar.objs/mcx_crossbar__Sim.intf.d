@@ -1,0 +1,1 @@
+lib/crossbar/sim.mli: Defect_map Layout Mcx_util

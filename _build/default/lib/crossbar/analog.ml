@@ -1,0 +1,55 @@
+type params = {
+  r_on : float;
+  r_off : float;
+  r_pullup : float;
+  v_dd : float;
+  v_threshold : float;
+}
+
+let default_params =
+  { r_on = 1e4; r_off = 1e7; r_pullup = 3e4; v_dd = 1.0; v_threshold = 0.5 }
+
+let line_voltage ?(params = default_params) values =
+  match values with
+  | [] -> params.v_dd
+  | _ ->
+    let conductance =
+      List.fold_left
+        (fun g v -> g +. (1. /. if v then params.r_off else params.r_on))
+        0. values
+    in
+    let r_down = 1. /. conductance in
+    params.v_dd *. r_down /. (params.r_pullup +. r_down)
+
+let sensed_conjunction ?(params = default_params) values =
+  line_voltage ~params values > params.v_threshold
+
+let sense_margin ?(params = default_params) ~width () =
+  if width <= 0 then invalid_arg "Analog.sense_margin: width <= 0";
+  let all_off = List.init width (fun _ -> true) in
+  let one_on = false :: List.init (width - 1) (fun _ -> true) in
+  let high_margin = line_voltage ~params all_off -. params.v_threshold in
+  let low_margin = params.v_threshold -. line_voltage ~params one_on in
+  Float.min high_margin low_margin
+
+let max_reliable_width ?(params = default_params) ?(margin = 0.05) () =
+  let rec grow width =
+    if sense_margin ~params ~width:(width + 1) () >= margin then grow (width + 1) else width
+  in
+  if sense_margin ~params ~width:1 () < margin then 0 else grow 1
+
+let matches_functional ?(params = default_params) ~width () =
+  let ideal values = List.for_all Fun.id values in
+  let codes =
+    [
+      List.init width (fun _ -> true);
+      List.init width (fun _ -> false);
+      List.init width (fun i -> i mod 2 = 0);
+      List.init width (fun i -> i <> 0);
+      List.init width (fun i -> i <> width - 1);
+      (false :: List.init (width - 1) (fun _ -> true));
+    ]
+  in
+  List.for_all
+    (fun code -> Bool.equal (sensed_conjunction ~params code) (ideal code))
+    codes

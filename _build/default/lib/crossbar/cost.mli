@@ -1,0 +1,63 @@
+(** The paper's area and inclusion-ratio cost models.
+
+    Calibrated against every number the paper prints (see DESIGN.md §2):
+    - two-level area  A2 = (P + O) x (2I + 2O), plus one latch row in the
+      Fig. 3 walk-through variant;
+    - multi-level area Am = (G + 1) x (2I + C + 2O) for a NAND network with
+      G gates of which C feed other gates;
+    - IR = required switches / area. *)
+
+type report = {
+  rows : int;
+  cols : int;
+  area : int;
+  switches : int;
+  inclusion_ratio : float;  (** in percent, as the paper prints it *)
+}
+
+val two_level_area :
+  ?include_il_row:bool -> n_inputs:int -> n_outputs:int -> n_products:int -> unit -> int
+(** Closed-form area. @raise Invalid_argument on negative counts. *)
+
+val two_level : ?include_il_row:bool -> Mcx_logic.Mo_cover.t -> report
+(** Full report for a cover: the Fig. 3 example yields area 126, 31
+    switches, IR ~25% with [include_il_row:true]. *)
+
+val multi_level : Mcx_netlist.Tech_map.mapped -> report
+(** Full report for a mapped NAND network: the Fig. 5 example yields a
+    3 x 19 crossbar. *)
+
+val multi_level_area : Mcx_netlist.Tech_map.mapped -> int
+
+val dual_choice :
+  ?include_il_row:bool -> Mcx_logic.Mo_cover.t -> Mcx_logic.Mo_cover.t * report * bool
+(** The paper's dual optimization: cost the cover and its output-wise
+    complement, return the cheaper cover, its report, and whether the dual
+    (negated) implementation was chosen. *)
+
+(** {2 Latency and energy}
+
+    The multi-level design buys its area with time: §III evaluates gates
+    "one-by-one" (an extra CFM/EVM/CR triple per gate) where the two-level
+    design computes every product simultaneously in a fixed 7-state
+    sequence. The write-energy model counts memristor state writes per
+    computation (INA reset of the whole array, value copies into the NAND
+    plane, result writes into the AND plane / connection columns, and the
+    output inversions); reads are assumed free. *)
+
+val two_level_steps : int
+(** 7: INA, RI, CFM, EVM, EVR, INR, SO (Fig. 2b). *)
+
+val multi_level_steps : ?level_parallel:bool -> Mcx_netlist.Tech_map.mapped -> int
+(** [3G + 4] for one-by-one evaluation as in Fig. 4(b); with
+    [level_parallel:true], the lower bound where independent gates of one
+    level fire together: [3 * levels + 4]. *)
+
+val two_level_writes : ?include_il_row:bool -> Mcx_logic.Mo_cover.t -> int
+(** Writes per computation: area (INA) + latched literals + AND-plane
+    results + output inversions. Cross-validated against the instrumented
+    simulator ({!Sim.run_counting}) in the test suite. *)
+
+val multi_level_writes : Mcx_netlist.Tech_map.mapped -> int
+(** Writes per computation of the multi-level design: area (INA) + gate
+    fan-in copies + connection/output result copies + latch writes. *)

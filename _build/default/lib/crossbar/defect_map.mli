@@ -1,0 +1,39 @@
+(** Per-crosspoint defect maps and their random generation.
+
+    §V of the paper: "we generate defective crossbars with assigning an
+    independent defect probability/rate to each crosspoint that shows a
+    uniform distribution". *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** All-functional map. @raise Invalid_argument on negative dimensions. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> Junction.defect
+val set : t -> int -> int -> Junction.defect -> unit
+
+val random :
+  Mcx_util.Prng.t -> rows:int -> cols:int -> open_rate:float -> closed_rate:float -> t
+(** Each crosspoint is independently stuck-open with probability
+    [open_rate], stuck-closed with [closed_rate], otherwise functional.
+    @raise Invalid_argument if rates are negative or sum above 1. *)
+
+val count : t -> Junction.defect -> int
+
+val row_has_closed : t -> int -> bool
+val col_has_closed : t -> int -> bool
+(** A stuck-closed junction forces its whole horizontal line to evaluate to
+    logic 1 and poisons its vertical line, so these lines are unusable
+    (paper §IV.A). *)
+
+val usable_rows : t -> int list
+val usable_cols : t -> int list
+(** Lines free of stuck-closed defects, ascending. *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Grid rendering: [.] functional, [o] stuck-open, [x] stuck-closed. *)

@@ -1,0 +1,74 @@
+type column_role =
+  | Input_pos of int
+  | Input_neg of int
+  | Output_main of int
+  | Output_comp of int
+
+type row_role = Input_latch | Product of int | Output_row of int
+
+type t = {
+  n_inputs : int;
+  n_outputs : int;
+  n_products : int;
+  include_il_row : bool;
+}
+
+let create ?(include_il_row = false) ~n_inputs ~n_outputs ~n_products () =
+  if n_inputs < 0 || n_outputs < 0 || n_products < 0 then
+    invalid_arg "Geometry.create: negative counts";
+  { n_inputs; n_outputs; n_products; include_il_row }
+
+let n_inputs t = t.n_inputs
+let n_outputs t = t.n_outputs
+let n_products t = t.n_products
+let includes_il_row t = t.include_il_row
+
+let rows t = t.n_products + t.n_outputs + if t.include_il_row then 1 else 0
+let cols t = (2 * t.n_inputs) + (2 * t.n_outputs)
+let area t = rows t * cols t
+
+let column_role t j =
+  if j < 0 || j >= cols t then invalid_arg "Geometry.column_role: out of range";
+  if j < t.n_inputs then Input_pos j
+  else if j < 2 * t.n_inputs then Input_neg (j - t.n_inputs)
+  else begin
+    let k = (j - (2 * t.n_inputs)) / 2 in
+    if (j - (2 * t.n_inputs)) mod 2 = 0 then Output_main k else Output_comp k
+  end
+
+let column_of_role t = function
+  | Input_pos i when i >= 0 && i < t.n_inputs -> i
+  | Input_neg i when i >= 0 && i < t.n_inputs -> t.n_inputs + i
+  | Output_main k when k >= 0 && k < t.n_outputs -> (2 * t.n_inputs) + (2 * k)
+  | Output_comp k when k >= 0 && k < t.n_outputs -> (2 * t.n_inputs) + (2 * k) + 1
+  | Input_pos _ | Input_neg _ | Output_main _ | Output_comp _ ->
+    invalid_arg "Geometry.column_of_role: role out of range"
+
+let row_role t i =
+  if i < 0 || i >= rows t then invalid_arg "Geometry.row_role: out of range";
+  if t.include_il_row then
+    if i = 0 then Input_latch
+    else if i <= t.n_products then Product (i - 1)
+    else Output_row (i - t.n_products - 1)
+  else if i < t.n_products then Product i
+  else Output_row (i - t.n_products)
+
+let row_of_role t = function
+  | Input_latch ->
+    if t.include_il_row then 0 else invalid_arg "Geometry.row_of_role: no IL row"
+  | Product p when p >= 0 && p < t.n_products ->
+    p + if t.include_il_row then 1 else 0
+  | Output_row k when k >= 0 && k < t.n_outputs ->
+    t.n_products + k + if t.include_il_row then 1 else 0
+  | Product _ | Output_row _ -> invalid_arg "Geometry.row_of_role: role out of range"
+
+let column_of_literal t ~var lit =
+  match lit with
+  | Mcx_logic.Literal.Pos -> column_of_role t (Input_pos var)
+  | Mcx_logic.Literal.Neg -> column_of_role t (Input_neg var)
+  | Mcx_logic.Literal.Absent -> invalid_arg "Geometry.column_of_literal: Absent"
+
+let pp ppf t =
+  Format.fprintf ppf "crossbar %dx%d (I=%d, O=%d, P=%d%s)" (rows t) (cols t)
+    t.n_inputs t.n_outputs t.n_products
+    (if t.include_il_row then ", +IL row" else "")

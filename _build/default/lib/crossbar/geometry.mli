@@ -1,0 +1,49 @@
+(** Two-level crossbar geometry: which line carries what.
+
+    Columns follow Fig. 3 of the paper: the positive input literals
+    x1..xn, the complemented literals x1'..xn', then per output the result
+    pair (Ok, Ok'). Rows are an optional input-latch row, one row per
+    product, and one row per output (the paper's Table I/II area model
+    counts P + O rows; the Fig. 3 walk-through additionally counts the
+    latch row). *)
+
+type column_role =
+  | Input_pos of int  (** column carrying variable [i] *)
+  | Input_neg of int  (** column carrying the complement of variable [i] *)
+  | Output_main of int  (** column on which output [k] is produced *)
+  | Output_comp of int  (** column carrying output [k]'s complement (the
+                            AND-plane result before inversion) *)
+
+type row_role =
+  | Input_latch
+  | Product of int  (** NAND-plane row of product [p] *)
+  | Output_row of int  (** AND-plane/latch row of output [k] *)
+
+type t
+
+val create :
+  ?include_il_row:bool -> n_inputs:int -> n_outputs:int -> n_products:int -> unit -> t
+(** [include_il_row] defaults to [false] (the benchmark-table model).
+    @raise Invalid_argument on negative counts. *)
+
+val n_inputs : t -> int
+val n_outputs : t -> int
+val n_products : t -> int
+val includes_il_row : t -> bool
+
+val rows : t -> int
+val cols : t -> int
+val area : t -> int
+
+val column_role : t -> int -> column_role
+val row_role : t -> int -> row_role
+val column_of_role : t -> column_role -> int
+val row_of_role : t -> row_role -> int
+(** Role/index translations. @raise Invalid_argument for out-of-range
+    indices or roles that do not exist in this geometry. *)
+
+val column_of_literal : t -> var:int -> Mcx_logic.Literal.t -> int
+(** The column a cube literal is wired to. @raise Invalid_argument on
+    [Absent]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type programming = Active | Disabled
+
+type defect = Functional | Stuck_open | Stuck_closed
+
+let logic_of_resistance_high = true
+
+let store d v =
+  match d with Functional -> v | Stuck_open -> true | Stuck_closed -> false
+
+let reset_value d = store d true
+
+let defect_equal a b =
+  match (a, b) with
+  | Functional, Functional | Stuck_open, Stuck_open | Stuck_closed, Stuck_closed -> true
+  | (Functional | Stuck_open | Stuck_closed), _ -> false
+
+let pp_defect ppf = function
+  | Functional -> Format.pp_print_string ppf "ok"
+  | Stuck_open -> Format.pp_print_string ppf "open"
+  | Stuck_closed -> Format.pp_print_string ppf "closed"
+
+let pp_programming ppf = function
+  | Active -> Format.pp_print_string ppf "active"
+  | Disabled -> Format.pp_print_string ppf "disabled"

@@ -1,0 +1,261 @@
+open Mcx_util
+open Mcx_netlist
+
+type t = {
+  mapped : Tech_map.mapped;
+  rows : int;
+  cols : int;
+  row_of_gate : int array;
+  conn_col_of_gate : int option array;
+  program : Bmatrix.t;
+  row_assignment : int array;
+  physical_rows : int;
+  physical_cols : int;
+}
+
+(* Column layout: [0, 2I) input literals (positives then complements),
+   [2I, 2I + C) connection columns, then (Ok main, Ok comp) pairs. *)
+
+let input_pos_col _net i = i
+let input_neg_col net i = Network.n_inputs net + i
+
+let signal_col net = function
+  | Signal.Input i -> Some (input_pos_col net i)
+  | Signal.Input_neg i -> Some (input_neg_col net i)
+  | Signal.Gate _ | Signal.Const _ -> None
+
+let place ?row_assignment ?physical_rows (mapped : Tech_map.mapped) =
+  let net = mapped.Tech_map.network in
+  let n_inputs = Network.n_inputs net in
+  let n_gates = Network.gate_count net in
+  let n_outputs = Array.length mapped.Tech_map.negated in
+  (* Inner gates, in id order, each get one connection column. *)
+  let feeds = Array.make (max 1 n_gates) false in
+  for id = 0 to n_gates - 1 do
+    List.iter
+      (function
+        | Signal.Gate g -> feeds.(g) <- true
+        | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> ())
+      (Network.gate_fanins net id)
+  done;
+  let conn_col_of_gate = Array.make (max 1 n_gates) None in
+  let next_conn = ref (2 * n_inputs) in
+  for id = 0 to n_gates - 1 do
+    if n_gates > 0 && feeds.(id) then begin
+      conn_col_of_gate.(id) <- Some !next_conn;
+      incr next_conn
+    end
+  done;
+  let first_output_col = !next_conn in
+  let output_main_col k = first_output_col + (2 * k) in
+  let output_comp_col k = first_output_col + (2 * k) + 1 in
+  let rows = n_gates + 1 in
+  let cols = first_output_col + (2 * n_outputs) in
+  let latch_row = n_gates in
+  let physical_rows = Option.value physical_rows ~default:rows in
+  if physical_rows < rows then invalid_arg "Multilevel.place: physical grid too small";
+  let row_assignment = Option.value row_assignment ~default:(Array.init rows Fun.id) in
+  if Array.length row_assignment <> rows then
+    invalid_arg "Multilevel.place: row assignment length mismatch";
+  let seen = Hashtbl.create rows in
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= physical_rows then invalid_arg "Multilevel.place: row out of range";
+      if Hashtbl.mem seen r then invalid_arg "Multilevel.place: duplicate row target";
+      Hashtbl.replace seen r ())
+    row_assignment;
+  let program = Bmatrix.create ~rows:physical_rows ~cols false in
+  let prow logical = row_assignment.(logical) in
+  for id = 0 to n_gates - 1 do
+    let r = prow id in
+    List.iter
+      (fun fanin ->
+        match signal_col net fanin with
+        | Some c -> Bmatrix.set program r c true
+        | None -> (
+          match fanin with
+          | Signal.Gate g ->
+            (match conn_col_of_gate.(g) with
+            | Some c -> Bmatrix.set program r c true
+            | None -> assert false)
+          | Signal.Const _ -> () (* folded away by the builder *)
+          | Signal.Input _ | Signal.Input_neg _ -> assert false))
+      (Network.gate_fanins net id);
+    (* The gate's own write junction on its connection column. *)
+    match conn_col_of_gate.(id) with
+    | Some c -> Bmatrix.set program r c true
+    | None -> ()
+  done;
+  (* Output write junctions: the producing gate row drives the output
+     column; the latch row holds the result pair. *)
+  List.iteri
+    (fun k signal ->
+      (match signal with
+      | Signal.Gate g ->
+        Bmatrix.set program (prow g)
+          (if mapped.Tech_map.negated.(k) then output_comp_col k else output_main_col k)
+          true
+      | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> ());
+      Bmatrix.set program (prow latch_row) (output_main_col k) true;
+      Bmatrix.set program (prow latch_row) (output_comp_col k) true)
+    (Network.outputs net);
+  {
+    mapped;
+    rows;
+    cols;
+    row_of_gate = Array.init n_gates Fun.id;
+    conn_col_of_gate;
+    program;
+    row_assignment;
+    physical_rows;
+    physical_cols = cols;
+  }
+
+let area t = t.rows * t.cols
+
+let function_matrix t =
+  let fm = Bmatrix.create ~rows:t.rows ~cols:t.cols false in
+  for logical = 0 to t.rows - 1 do
+    let r = t.row_assignment.(logical) in
+    for c = 0 to t.cols - 1 do
+      if Bmatrix.get t.program r c then Bmatrix.set fm logical c true
+    done
+  done;
+  fm
+
+let run_impl ?defects ?upset t inputs =
+  let net = t.mapped.Tech_map.network in
+  let n_inputs = Network.n_inputs net in
+  if Array.length inputs <> n_inputs then invalid_arg "Multilevel.run: arity mismatch";
+  let defects =
+    match defects with
+    | Some d ->
+      if Defect_map.rows d <> t.physical_rows || Defect_map.cols d <> t.physical_cols then
+        invalid_arg "Multilevel.run: defect map dimension mismatch";
+      d
+    | None -> Defect_map.create ~rows:t.physical_rows ~cols:t.physical_cols
+  in
+  let values = Array.make_matrix t.physical_rows t.physical_cols true in
+  let writes = ref 0 in
+  let corrupt v =
+    match upset with Some hit when hit () -> not v | Some _ | None -> v
+  in
+  let write r c v =
+    incr writes;
+    values.(r).(c) <- Junction.store (Defect_map.get defects r c) (corrupt v)
+  in
+  (* INA *)
+  for r = 0 to t.physical_rows - 1 do
+    for c = 0 to t.physical_cols - 1 do
+      write r c true (* INA drives every junction to R_OFF *)
+    done
+  done;
+  let programmed r c = Bmatrix.get t.program r c in
+  let prow logical = t.row_assignment.(logical) in
+  let used_rows = Array.to_list t.row_assignment in
+  let n_gates = Network.gate_count net in
+  let latch_row = n_gates in
+  let row_nand r = not (Array.for_all Fun.id values.(r)) in
+  let col_and c = List.for_all (fun r -> values.(r).(c)) used_rows in
+  let n_outputs = Array.length t.mapped.Tech_map.negated in
+  let first_output_col = t.cols - (2 * n_outputs) in
+  let output_main_col k = first_output_col + (2 * k) in
+  let output_comp_col k = first_output_col + (2 * k) + 1 in
+  (* RI + per-gate CFM/EVM/CR, in topological (id) order. *)
+  let consumers = Array.make (max 1 n_gates) [] in
+  for id = 0 to n_gates - 1 do
+    List.iter
+      (function
+        | Signal.Gate g -> consumers.(g) <- id :: consumers.(g)
+        | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> ())
+      (Network.gate_fanins net id)
+  done;
+  let gate_value = Array.make (max 1 n_gates) false in
+  for id = 0 to n_gates - 1 do
+    let r = prow id in
+    (* CFM: copy the input literals this gate reads. *)
+    List.iter
+      (fun fanin ->
+        match signal_col net fanin with
+        | Some c -> if programmed r c then write r c (match fanin with
+            | Signal.Input i -> inputs.(i)
+            | Signal.Input_neg i -> not inputs.(i)
+            | Signal.Gate _ | Signal.Const _ -> assert false)
+        | None -> ())
+      (Network.gate_fanins net id);
+    (* EVM: evaluate this row. *)
+    let result = row_nand r in
+    gate_value.(id) <- result;
+    (* CR: copy the result into consumer rows via the connection column,
+       and onto the output column if this gate is an output driver. *)
+    (match t.conn_col_of_gate.(id) with
+    | Some c ->
+      write r c result;
+      List.iter
+        (fun consumer ->
+          let rc = prow consumer in
+          if programmed rc c then write rc c result)
+        consumers.(id)
+    | None -> ());
+    List.iteri
+      (fun k signal ->
+        match signal with
+        | Signal.Gate g when g = id ->
+          let c =
+            if t.mapped.Tech_map.negated.(k) then output_comp_col k else output_main_col k
+          in
+          if programmed r c then write r c result
+        | Signal.Gate _ | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> ())
+      (Network.outputs net)
+  done;
+  (* Outputs driven directly by inputs or constants come from the latch. *)
+  let direct_value = function
+    | Signal.Const b -> Some b
+    | Signal.Input i -> Some inputs.(i)
+    | Signal.Input_neg i -> Some (not inputs.(i))
+    | Signal.Gate _ -> None
+  in
+  let outputs = Array.make n_outputs false in
+  (* INR: the latch row completes each result pair, inverting as needed. *)
+  List.iteri
+    (fun k signal ->
+      let lr = prow latch_row in
+      match direct_value signal with
+      | Some v ->
+        let v = if t.mapped.Tech_map.negated.(k) then not v else v in
+        if programmed lr (output_main_col k) then write lr (output_main_col k) v;
+        if programmed lr (output_comp_col k) then write lr (output_comp_col k) (not v)
+      | None ->
+        if t.mapped.Tech_map.negated.(k) then begin
+          (* The gate drove the complement column; invert onto main. *)
+          let comp = col_and (output_comp_col k) in
+          if programmed lr (output_main_col k) then write lr (output_main_col k) (not comp)
+        end
+        else begin
+          let main = col_and (output_main_col k) in
+          if programmed lr (output_comp_col k) then write lr (output_comp_col k) (not main)
+        end)
+    (Network.outputs net);
+  (* SO: read the main output columns. *)
+  for k = 0 to n_outputs - 1 do
+    outputs.(k) <- col_and (output_main_col k)
+  done;
+  (outputs, !writes)
+
+let run_counting ?defects t inputs = run_impl ?defects t inputs
+
+let run ?defects t inputs = fst (run_impl ?defects t inputs)
+
+let run_with_upsets ?defects ~prng ~upset_rate t inputs =
+  fst
+    (run_impl ?defects ~upset:(fun () -> Mcx_util.Prng.bernoulli prng upset_rate) t inputs)
+
+let agrees_with_reference ?defects t cover =
+  let n = Mcx_logic.Mo_cover.n_inputs cover in
+  if n > 16 then invalid_arg "Multilevel.agrees_with_reference: arity too large";
+  let ok = ref true in
+  for idx = 0 to (1 lsl n) - 1 do
+    let v = Array.init n (fun i -> (idx lsr i) land 1 = 1) in
+    if run ?defects t v <> Mcx_logic.Mo_cover.eval cover v then ok := false
+  done;
+  !ok

@@ -1,0 +1,108 @@
+open Mcx_util
+
+let glyph ~programmed ~defect =
+  match (defect, programmed) with
+  | Junction.Functional, true -> '#'
+  | Junction.Functional, false -> '.'
+  | Junction.Stuck_open, true -> 'O'
+  | Junction.Stuck_open, false -> 'o'
+  | Junction.Stuck_closed, true -> 'X'
+  | Junction.Stuck_closed, false -> 'x'
+
+(* Render a program matrix with row labels and column headers; headers are
+   printed vertically so arbitrary widths stay aligned. *)
+let grid ~row_labels ~col_labels ~program ~defects =
+  let rows = Bmatrix.rows program and cols = Bmatrix.cols program in
+  let label_width =
+    Array.fold_left (fun w l -> max w (String.length l)) 0 row_labels
+  in
+  let header_height =
+    Array.fold_left (fun h l -> max h (String.length l)) 0 col_labels
+  in
+  let buf = Buffer.create ((rows + header_height) * (cols + label_width + 3)) in
+  for line = 0 to header_height - 1 do
+    Buffer.add_string buf (String.make (label_width + 1) ' ');
+    for c = 0 to cols - 1 do
+      let l = col_labels.(c) in
+      Buffer.add_char buf (if line < String.length l then l.[line] else ' ')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  for r = 0 to rows - 1 do
+    let l = row_labels.(r) in
+    Buffer.add_string buf l;
+    Buffer.add_string buf (String.make (label_width - String.length l + 1) ' ');
+    for c = 0 to cols - 1 do
+      Buffer.add_char buf
+        (glyph ~programmed:(Bmatrix.get program r c) ~defect:(Defect_map.get defects r c))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let ensure_defects defects ~rows ~cols =
+  match defects with
+  | Some d ->
+    if Defect_map.rows d <> rows || Defect_map.cols d <> cols then
+      invalid_arg "Render: defect map dimension mismatch";
+    d
+  | None -> Defect_map.create ~rows ~cols
+
+let two_level ?defects layout =
+  let fm = layout.Layout.fm in
+  let geometry = fm.Function_matrix.geometry in
+  let rows = layout.Layout.physical_rows and cols = layout.Layout.physical_cols in
+  let defects = ensure_defects defects ~rows ~cols in
+  let col_labels = Array.make cols "-" in
+  Array.iteri
+    (fun fm_col physical ->
+      let label =
+        match Geometry.column_role geometry fm_col with
+        | Geometry.Input_pos i -> Printf.sprintf "x%d" (i + 1)
+        | Geometry.Input_neg i -> Printf.sprintf "x%d'" (i + 1)
+        | Geometry.Output_main k -> Printf.sprintf "O%d" (k + 1)
+        | Geometry.Output_comp k -> Printf.sprintf "O%d'" (k + 1)
+      in
+      col_labels.(physical) <- label)
+    layout.Layout.col_assignment;
+  let row_labels = Array.make rows "-" in
+  Array.iteri
+    (fun fm_row physical ->
+      let label =
+        match Geometry.row_role geometry fm_row with
+        | Geometry.Input_latch -> "IL"
+        | Geometry.Product p -> Printf.sprintf "m%d" (p + 1)
+        | Geometry.Output_row k -> Printf.sprintf "O%d" (k + 1)
+      in
+      row_labels.(physical) <- label)
+    layout.Layout.row_assignment;
+  grid ~row_labels ~col_labels ~program:layout.Layout.program ~defects
+
+let multi_level ?defects (ml : Multilevel.t) =
+  let rows = ml.Multilevel.physical_rows and cols = ml.Multilevel.physical_cols in
+  let defects = ensure_defects defects ~rows ~cols in
+  let net = ml.Multilevel.mapped.Mcx_netlist.Tech_map.network in
+  let n_inputs = Mcx_netlist.Network.n_inputs net in
+  let n_gates = Mcx_netlist.Network.gate_count net in
+  let n_outputs = Array.length ml.Multilevel.mapped.Mcx_netlist.Tech_map.negated in
+  let col_labels =
+    Array.init cols (fun c ->
+        if c < n_inputs then Printf.sprintf "x%d" (c + 1)
+        else if c < 2 * n_inputs then Printf.sprintf "x%d'" (c - n_inputs + 1)
+        else begin
+          let first_output_col = cols - (2 * n_outputs) in
+          if c < first_output_col then Printf.sprintf "c%d" (c - (2 * n_inputs))
+          else begin
+            let k = (c - first_output_col) / 2 in
+            if (c - first_output_col) mod 2 = 0 then Printf.sprintf "O%d" (k + 1)
+            else Printf.sprintf "O%d'" (k + 1)
+          end
+        end)
+  in
+  let row_labels = Array.make rows "-" in
+  Array.iteri
+    (fun logical physical ->
+      row_labels.(physical) <-
+        (if logical < n_gates then Printf.sprintf "g%d" logical else "OL"))
+    ml.Multilevel.row_assignment;
+  grid ~row_labels ~col_labels ~program:ml.Multilevel.program ~defects

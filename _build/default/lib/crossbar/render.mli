@@ -1,0 +1,15 @@
+(** ASCII rendering of programmed crossbars — the textual analogue of the
+    paper's Fig. 3/5/7 diagrams, with defects overlaid.
+
+    Glyphs: [#] an active (programmed) switch, [.] a disabled junction,
+    [o] stuck-open, [O] stuck-open under an active switch (a mapping
+    violation), [x]/[X] likewise for stuck-closed. Column headers name the
+    line roles (x1.., x1'.., O1, O1', …); row labels name the product or
+    output each physical line hosts. *)
+
+val two_level : ?defects:Defect_map.t -> Layout.t -> string
+(** Render a placed two-level design. @raise Invalid_argument on defect
+    map dimension mismatch. *)
+
+val multi_level : ?defects:Defect_map.t -> Multilevel.t -> string
+(** Render a multi-level design; connection columns are headed c0, c1, … *)

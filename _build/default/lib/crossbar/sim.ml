@@ -1,0 +1,152 @@
+open Mcx_logic
+open Mcx_util
+
+type step = INA | RI | CFM | EVM | EVR | INR | SO
+
+let step_sequence = [ INA; RI; CFM; EVM; EVR; INR; SO ]
+
+(* The simulation keeps the full junction-value grid [values] (true =
+   R_OFF = logic 1). Only the states that move data touch it; the defect
+   override is applied on every write through [Junction.store]. *)
+
+let run_impl ?defects ?upset layout inputs =
+  let fm = layout.Layout.fm in
+  let geometry = fm.Function_matrix.geometry in
+  let cover = fm.Function_matrix.cover in
+  if Array.length inputs <> Geometry.n_inputs geometry then
+    invalid_arg "Sim.run: input arity mismatch";
+  let rows = layout.Layout.physical_rows and cols = layout.Layout.physical_cols in
+  let defects =
+    match defects with
+    | Some d ->
+      if Defect_map.rows d <> rows || Defect_map.cols d <> cols then
+        invalid_arg "Sim.run: defect map dimension mismatch";
+      d
+    | None -> Defect_map.create ~rows ~cols
+  in
+  let values = Array.make_matrix rows cols true in
+  let writes = ref 0 in
+  (* A transient upset corrupts the value being stored; stuck junctions
+     are immune (their state cannot change at all). *)
+  let corrupt v =
+    match upset with Some hit when hit () -> not v | Some _ | None -> v
+  in
+  let write r c v =
+    incr writes;
+    values.(r).(c) <- Junction.store (Defect_map.get defects r c) (corrupt v)
+  in
+  let programmed r c = Bmatrix.get layout.Layout.program r c in
+  let prow role = layout.Layout.row_assignment.(Geometry.row_of_role geometry role) in
+  let pcol role = layout.Layout.col_assignment.(Geometry.column_of_role geometry role) in
+  let column_value_of_role = function
+    | Geometry.Input_pos i -> Some inputs.(i)
+    | Geometry.Input_neg i -> Some (not inputs.(i))
+    | Geometry.Output_main _ | Geometry.Output_comp _ -> None
+  in
+  let n_outputs = Geometry.n_outputs geometry in
+  let outputs = Array.make n_outputs false in
+  (* Spare (unassigned) lines are isolated by the controller; evaluation
+     aggregates only junctions at used-row x used-column crossings. *)
+  let used_cols = Array.to_list layout.Layout.col_assignment in
+  let used_rows = Array.to_list layout.Layout.row_assignment in
+  let row_nand r =
+    (* A horizontal line evaluates the NAND of every junction it crosses:
+       disabled/stuck-open junctions hold 1 and are neutral; a stuck-closed
+       junction holds 0 and forces the result to 1 (§IV.A). *)
+    not (List.for_all (fun c -> values.(r).(c)) used_cols)
+  in
+  let col_and c = List.for_all (fun r -> values.(r).(c)) used_rows in
+  let execute = function
+    | INA ->
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          write r c true (* INA drives every junction to R_OFF *)
+        done
+      done
+    | RI ->
+      (* Inputs reach the latch; when the layout material-izes the IL row,
+         its junctions record the literal values. *)
+      if Geometry.includes_il_row geometry then begin
+        let il = prow Geometry.Input_latch in
+        for j = 0 to Geometry.cols geometry - 1 do
+          match column_value_of_role (Geometry.column_role geometry j) with
+          | Some v ->
+            if programmed il layout.Layout.col_assignment.(j) then
+              write il layout.Layout.col_assignment.(j) v
+          | None -> ()
+        done
+      end
+    | CFM ->
+      (* Copy each literal value into the NAND-plane junctions of every
+         product row, simultaneously. *)
+      List.iteri
+        (fun p _ ->
+          let r = prow (Geometry.Product p) in
+          for j = 0 to Geometry.cols geometry - 1 do
+            let c = layout.Layout.col_assignment.(j) in
+            match column_value_of_role (Geometry.column_role geometry j) with
+            | Some v -> if programmed r c then write r c v
+            | None -> ()
+          done)
+        (Mo_cover.rows cover)
+    | EVM ->
+      (* Evaluate every product row and write the result into its AND-plane
+         junctions. *)
+      List.iteri
+        (fun p row_def ->
+          let r = prow (Geometry.Product p) in
+          let result = row_nand r in
+          Array.iteri
+            (fun k member ->
+              if member then begin
+                let c = pcol (Geometry.Output_comp k) in
+                if programmed r c then write r c result
+              end)
+            row_def.Mo_cover.outputs)
+        (Mo_cover.rows cover)
+    | EVR ->
+      (* Each complement column ANDs the stored product results. *)
+      for k = 0 to n_outputs - 1 do
+        outputs.(k) <- col_and (pcol (Geometry.Output_comp k))
+        (* currently holds the complement *)
+      done
+    | INR ->
+      (* Invert the complement onto the main output column via the output
+         row's junction. *)
+      for k = 0 to n_outputs - 1 do
+        let r = prow (Geometry.Output_row k) in
+        let c = pcol (Geometry.Output_main k) in
+        if programmed r c then write r c (not outputs.(k))
+      done
+    | SO ->
+      (* The main output column delivers the latched result: the AND of the
+         column, whose only informative junction is the output row's. *)
+      for k = 0 to n_outputs - 1 do
+        outputs.(k) <- col_and (pcol (Geometry.Output_main k))
+      done
+  in
+  List.iter execute step_sequence;
+  (outputs, !writes)
+
+let run_counting ?defects layout inputs = run_impl ?defects layout inputs
+
+let run ?defects layout inputs = fst (run_impl ?defects layout inputs)
+
+let run_with_upsets ?defects ~prng ~upset_rate layout inputs =
+  fst
+    (run_impl ?defects
+       ~upset:(fun () -> Mcx_util.Prng.bernoulli prng upset_rate)
+       layout inputs)
+
+let run_exhaustive ?defects layout =
+  let geometry = layout.Layout.fm.Function_matrix.geometry in
+  let cover = layout.Layout.fm.Function_matrix.cover in
+  let n = Geometry.n_inputs geometry in
+  if n > 16 then invalid_arg "Sim.run_exhaustive: arity too large";
+  List.init (1 lsl n) (fun idx ->
+      let v = Array.init n (fun i -> (idx lsr i) land 1 = 1) in
+      (v, run ?defects layout v, Mo_cover.eval cover v))
+
+let agrees_with_reference ?defects layout =
+  List.for_all (fun (_, simulated, reference) -> simulated = reference)
+    (run_exhaustive ?defects layout)

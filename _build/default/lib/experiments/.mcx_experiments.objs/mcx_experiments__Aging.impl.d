@@ -1,0 +1,1 @@
+lib/experiments/aging.ml: Array Defect_map Exact Fun Function_matrix Geometry Hashtbl Junction List Matching Mcx_benchmarks Mcx_crossbar Mcx_mapping Mcx_util Printf Prng Repair Stats Suite Texttable

@@ -1,0 +1,1 @@
+lib/experiments/aging.mli: Mcx_util

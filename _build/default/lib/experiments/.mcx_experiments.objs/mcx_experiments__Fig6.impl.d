@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Buffer Cover Hashtbl Int List Mcx_crossbar Mcx_logic Mcx_netlist Mcx_util Mo_cover Printf Prng Random_sop Stats Texttable

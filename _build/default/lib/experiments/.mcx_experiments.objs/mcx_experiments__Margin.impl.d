@@ -1,0 +1,1 @@
+lib/experiments/margin.ml: Analog Cost List Mcx_benchmarks Mcx_crossbar Mcx_util Printf Suite

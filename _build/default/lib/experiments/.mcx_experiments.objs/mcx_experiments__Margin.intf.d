@@ -1,0 +1,1 @@
+lib/experiments/margin.mli: Mcx_util

@@ -1,0 +1,1 @@
+lib/experiments/mldefect.ml: Defect_map Fun Hashtbl Hybrid List Matching Mcx_benchmarks Mcx_crossbar Mcx_logic Mcx_mapping Mcx_netlist Mcx_util Multilevel Printf Prng Suite Texttable

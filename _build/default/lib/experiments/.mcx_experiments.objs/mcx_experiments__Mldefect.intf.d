@@ -1,0 +1,1 @@
+lib/experiments/mldefect.mli: Mcx_util

@@ -1,0 +1,1 @@
+lib/experiments/ratesweep.ml: Annealing Defect_map Exact Function_matrix Geometry Hashtbl Hybrid List Matching Mcx_benchmarks Mcx_crossbar Mcx_mapping Mcx_util Printf Prng Suite Texttable

@@ -1,0 +1,1 @@
+lib/experiments/ratesweep.mli: Mcx_util

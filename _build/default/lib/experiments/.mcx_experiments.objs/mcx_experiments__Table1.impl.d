@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: List Mcx_benchmarks Mcx_crossbar Mcx_netlist Mcx_util Suite

@@ -1,0 +1,1 @@
+lib/experiments/tradeoff.ml: Cost List Mcx_benchmarks Mcx_crossbar Mcx_netlist Mcx_util Suite

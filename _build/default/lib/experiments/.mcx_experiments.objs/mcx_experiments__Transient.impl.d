@@ -1,0 +1,1 @@
+lib/experiments/transient.ml: Array Cost Hashtbl Layout List Mcx_benchmarks Mcx_crossbar Mcx_logic Mcx_netlist Mcx_util Mo_cover Multilevel Printf Prng Sim Suite Texttable

@@ -1,0 +1,1 @@
+lib/experiments/transient.mli: Mcx_util

@@ -1,0 +1,1 @@
+lib/experiments/yield.ml: Defect_map Function_matrix Geometry Hashtbl List Mcx_benchmarks Mcx_crossbar Mcx_mapping Mcx_util Printf Prng Redundant Suite Texttable

@@ -1,0 +1,1 @@
+lib/experiments/yield.mli: Mcx_util

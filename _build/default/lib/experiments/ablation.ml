@@ -1,0 +1,170 @@
+open Mcx_util
+open Mcx_logic
+open Mcx_crossbar
+open Mcx_mapping
+open Mcx_benchmarks
+
+(* --- factoring ablation ------------------------------------------- *)
+
+type factoring_row = {
+  n_inputs : int;
+  flat_median_area : float;
+  quick_median_area : float;
+  kernel_median_area : float;
+  flat_win_rate : float;
+  quick_win_rate : float;
+  kernel_win_rate : float;
+}
+
+let factoring ?(samples = 60) ?(input_sizes = [ 8; 10 ]) ~seed () =
+  let row n_inputs =
+    let prng = Prng.create (Hashtbl.hash (seed, "ablation", n_inputs)) in
+    let results =
+      List.init samples (fun _ ->
+          let params = Random_sop.paper_params prng ~n_inputs in
+          let f = Random_sop.random_cover prng params in
+          let two = (Cost.two_level (Mo_cover.of_single f)).Cost.area in
+          let area strategy =
+            Cost.multi_level_area (Mcx_netlist.Tech_map.map_cover ~strategy f)
+          in
+          ( two,
+            area Mcx_netlist.Tech_map.Flat,
+            area Mcx_netlist.Tech_map.Quick,
+            area Mcx_netlist.Tech_map.Kernel ))
+    in
+    let median f = Stats.median (List.map (fun r -> float_of_int (f r)) results) in
+    let win f =
+      Stats.success_rate (List.map (fun ((two, _, _, _) as r) -> f r < two) results)
+    in
+    {
+      n_inputs;
+      flat_median_area = median (fun (_, a, _, _) -> a);
+      quick_median_area = median (fun (_, _, a, _) -> a);
+      kernel_median_area = median (fun (_, _, _, a) -> a);
+      flat_win_rate = win (fun (_, a, _, _) -> a);
+      quick_win_rate = win (fun (_, _, a, _) -> a);
+      kernel_win_rate = win (fun (_, _, _, a) -> a);
+    }
+  in
+  List.map row input_sizes
+
+let factoring_table rows =
+  let table =
+    Texttable.create
+      [
+        "inputs"; "flat area (med)"; "quick area (med)"; "kernel area (med)";
+        "flat win %"; "quick win %"; "kernel win %";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Texttable.add_row table
+        [
+          string_of_int r.n_inputs;
+          Printf.sprintf "%.0f" r.flat_median_area;
+          Printf.sprintf "%.0f" r.quick_median_area;
+          Printf.sprintf "%.0f" r.kernel_median_area;
+          Printf.sprintf "%.0f" r.flat_win_rate;
+          Printf.sprintf "%.0f" r.quick_win_rate;
+          Printf.sprintf "%.0f" r.kernel_win_rate;
+        ])
+    rows;
+  table
+
+(* --- hybrid ordering ablation -------------------------------------- *)
+
+type ordering_row = {
+  benchmark : string;
+  top_down_psucc : float;
+  hardest_first_psucc : float;
+  exact_psucc : float;
+}
+
+let ordering ?(samples = 100) ?(defect_rate = 0.10)
+    ?(benchmarks = [ "rd53"; "rd73"; "rd84"; "sao2"; "exp5" ]) ~seed () =
+  let row benchmark =
+    let bench = Suite.find benchmark in
+    let cover = Suite.cover bench in
+    let fm = Function_matrix.build cover in
+    let geometry = fm.Function_matrix.geometry in
+    let rows = Geometry.rows geometry and cols = Geometry.cols geometry in
+    let prng = Prng.create (Hashtbl.hash (seed, "ordering", benchmark)) in
+    let top = ref 0 and hardest = ref 0 and exact = ref 0 in
+    for _ = 1 to samples do
+      let defects = Defect_map.random prng ~rows ~cols ~open_rate:defect_rate ~closed_rate:0. in
+      let cm = Matching.cm_of_defects defects in
+      if Hybrid.map ~order:Hybrid.Top_down fm cm <> None then incr top;
+      if Hybrid.map ~order:Hybrid.Hardest_first fm cm <> None then incr hardest;
+      if Exact.feasible fm cm then incr exact
+    done;
+    let pct c = 100. *. float_of_int !c /. float_of_int samples in
+    {
+      benchmark;
+      top_down_psucc = pct top;
+      hardest_first_psucc = pct hardest;
+      exact_psucc = pct exact;
+    }
+  in
+  List.map row benchmarks
+
+type fanin_row = {
+  benchmark : string;
+  fanin_limit : int;
+  gates : int;
+  area : int;
+  steps : int;
+}
+
+let fanin ?(fanin_limits = [ 2; 4; 0 ]) ?(benchmarks = [ "rd53"; "sqrt8"; "t481" ]) () =
+  List.concat_map
+    (fun benchmark ->
+      let cover = Suite.cover (Suite.find benchmark) in
+      List.map
+        (fun limit ->
+          let mapped =
+            if limit = 0 then Mcx_netlist.Tech_map.map_mo cover
+            else Mcx_netlist.Tech_map.map_mo ~fanin_limit:(max 2 limit) cover
+          in
+          {
+            benchmark;
+            fanin_limit = limit;
+            gates = Mcx_netlist.Network.gate_count mapped.Mcx_netlist.Tech_map.network;
+            area = Cost.multi_level_area mapped;
+            steps = Cost.multi_level_steps mapped;
+          })
+        fanin_limits)
+    benchmarks
+
+let fanin_table rows =
+  let table =
+    Texttable.create [ "benchmark"; "fan-in limit"; "NAND gates"; "multi-level area"; "steps" ]
+  in
+  List.iter
+    (fun r ->
+      Texttable.add_row table
+        [
+          r.benchmark;
+          (if r.fanin_limit = 0 then "n (paper)" else string_of_int r.fanin_limit);
+          string_of_int r.gates;
+          string_of_int r.area;
+          string_of_int r.steps;
+        ])
+    rows;
+  table
+
+let ordering_table rows =
+  let table =
+    Texttable.create
+      [ "benchmark"; "HBA top-down"; "HBA hardest-first"; "EA (upper bound)" ]
+  in
+  List.iter
+    (fun (r : ordering_row) ->
+      Texttable.add_row table
+        [
+          r.benchmark;
+          Printf.sprintf "%.0f" r.top_down_psucc;
+          Printf.sprintf "%.0f" r.hardest_first_psucc;
+          Printf.sprintf "%.0f" r.exact_psucc;
+        ])
+    rows;
+  table

@@ -1,0 +1,64 @@
+(** Ablations over the design choices DESIGN.md calls out.
+
+    Two studies:
+    - {!factoring}: what the technology mapper's factoring strategy is
+      worth on the Fig. 6 workload — flat NAND-NAND (no factoring),
+      quick-factor (single-literal division) and kernel extraction are run
+      on the same random functions and compared on multi-level area and
+      win rate against two-level;
+    - {!ordering}: what the hybrid algorithm's greedy order is worth —
+      Algorithm 1's top-down scan versus hardest-row-first, success rates
+      side by side with the exact upper bound. *)
+
+type factoring_row = {
+  n_inputs : int;
+  flat_median_area : float;
+  quick_median_area : float;
+  kernel_median_area : float;
+  flat_win_rate : float;  (** % of samples where multi-level beats two-level *)
+  quick_win_rate : float;
+  kernel_win_rate : float;
+}
+
+val factoring :
+  ?samples:int -> ?input_sizes:int list -> seed:int -> unit -> factoring_row list
+(** Defaults: 60 samples per size, sizes [8; 10]. *)
+
+val factoring_table : factoring_row list -> Mcx_util.Texttable.t
+
+type ordering_row = {
+  benchmark : string;
+  top_down_psucc : float;
+  hardest_first_psucc : float;
+  exact_psucc : float;
+}
+
+val ordering :
+  ?samples:int ->
+  ?defect_rate:float ->
+  ?benchmarks:string list ->
+  seed:int ->
+  unit ->
+  ordering_row list
+(** Defaults: 100 samples, 10% stuck-open, the benchmarks where Table II
+    shows hybrid-vs-exact gaps (rd53, rd73, rd84, sao2, exp5). *)
+
+val ordering_table : ordering_row list -> Mcx_util.Texttable.t
+
+type fanin_row = {
+  benchmark : string;
+  fanin_limit : int;  (** 0 stands for the unbounded paper default (n) *)
+  gates : int;
+  area : int;
+  steps : int;
+}
+
+val fanin :
+  ?fanin_limits:int list -> ?benchmarks:string list -> unit -> fanin_row list
+(** The paper lets ABC use "NAND gates which have fan-in sizes 2 to n"; this
+    sweep shows what capping the fan-in costs: smaller gates mean more of
+    them (rows and serialized evaluation steps grow) while the input
+    columns stay fixed. Defaults: limits [2; 4; 0] (0 = n), arithmetic
+    single/multi-output representatives. *)
+
+val fanin_table : fanin_row list -> Mcx_util.Texttable.t

@@ -1,0 +1,25 @@
+(** Field aging: incremental repair versus remap-from-scratch.
+
+    A die is mapped once at test time; stuck-open faults then accumulate
+    one by one. At each fault the placement is fixed with
+    {!Mcx_mapping.Repair} (local moves first, full exact remap as last
+    resort) and the study records how many faults a die survives and how
+    many rows each repair touches — reprogramming cost being proportional
+    to touched lines. The baseline column shows the cost of always
+    remapping from scratch. *)
+
+type result = {
+  benchmark : string;
+  samples : int;
+  mean_faults_survived : float;
+      (** faults absorbed until no valid mapping exists at all *)
+  mean_rows_touched_per_repair : float;
+  remap_rows_baseline : float;
+      (** mean rows a from-scratch exact remap would move per event *)
+  repairs_verified : bool;  (** every repaired placement re-checked *)
+}
+
+val run : ?samples:int -> ?max_faults:int -> seed:int -> benchmark:string -> unit -> result
+(** Defaults: 60 dies, at most 200 faults each. *)
+
+val to_table : result list -> Mcx_util.Texttable.t

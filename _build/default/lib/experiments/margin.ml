@@ -1,0 +1,62 @@
+open Mcx_crossbar
+open Mcx_benchmarks
+
+type width_point = { width : int; margin_volts : float }
+
+type benchmark_row = {
+  name : string;
+  columns : int;
+  margin_volts : float;
+  reliable : bool;
+}
+
+type result = {
+  curve : width_point list;
+  benchmarks : benchmark_row list;
+  max_reliable_width : int;
+}
+
+let run ?(widths = [ 1; 8; 16; 32; 64; 128; 192; 256; 320 ]) ?benchmarks () =
+  let selected =
+    match benchmarks with
+    | Some names -> List.map Suite.find names
+    | None -> Suite.table2
+  in
+  let limit = Analog.max_reliable_width () in
+  let curve =
+    List.map (fun width -> { width; margin_volts = Analog.sense_margin ~width () }) widths
+  in
+  let benchmark_row bench =
+    let cover = Suite.cover bench in
+    let report = Cost.two_level cover in
+    let columns = report.Cost.cols in
+    {
+      name = bench.Suite.name;
+      columns;
+      margin_volts = Analog.sense_margin ~width:columns ();
+      reliable = columns <= limit;
+    }
+  in
+  { curve; benchmarks = List.map benchmark_row selected; max_reliable_width = limit }
+
+let to_tables result =
+  let curve = Mcx_util.Texttable.create [ "line width"; "sense margin (V)" ] in
+  List.iter
+    (fun p ->
+      Mcx_util.Texttable.add_row curve
+        [ string_of_int p.width; Printf.sprintf "%.3f" p.margin_volts ])
+    result.curve;
+  let benchmarks =
+    Mcx_util.Texttable.create [ "benchmark"; "columns"; "margin (V)"; "electrically ok" ]
+  in
+  List.iter
+    (fun r ->
+      Mcx_util.Texttable.add_row benchmarks
+        [
+          r.name;
+          string_of_int r.columns;
+          Printf.sprintf "%.3f" r.margin_volts;
+          (if r.reliable then "yes" else "NO");
+        ])
+    result.benchmarks;
+  (curve, benchmarks)

@@ -1,0 +1,29 @@
+(** EXT-MARGIN: electrical sense margin vs crossbar width.
+
+    The robustness works the paper cites ([9], [10]) warn that wired
+    evaluation degrades with line width; {!Mcx_crossbar.Analog} models the
+    resistive divider behind that warning. This study tabulates the margin
+    curve and checks every Table II benchmark's optimum crossbar against
+    the electrical width limit. *)
+
+type width_point = { width : int; margin_volts : float }
+
+type benchmark_row = {
+  name : string;
+  columns : int;  (** vertical lines a product row crosses *)
+  margin_volts : float;
+  reliable : bool;
+}
+
+type result = {
+  curve : width_point list;
+  benchmarks : benchmark_row list;
+  max_reliable_width : int;
+}
+
+val run : ?widths:int list -> ?benchmarks:string list -> unit -> result
+(** Defaults: widths [1; 8; 16; 32; 64; 128; 192; 256; 320], the full
+    Table II suite. *)
+
+val to_tables : result -> Mcx_util.Texttable.t * Mcx_util.Texttable.t
+(** [(curve, benchmarks)]. *)

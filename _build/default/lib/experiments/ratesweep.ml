@@ -1,0 +1,55 @@
+open Mcx_util
+open Mcx_crossbar
+open Mcx_mapping
+open Mcx_benchmarks
+
+type point = {
+  defect_rate : float;
+  hba_psucc : float;
+  ea_psucc : float;
+  annealing_psucc : float;
+}
+
+type sweep = { benchmark : string; samples : int; points : point list }
+
+let run ?(samples = 100) ?(defect_rates = [ 0.02; 0.05; 0.08; 0.10; 0.12; 0.15; 0.20 ])
+    ~seed ~benchmark () =
+  let bench = Suite.find benchmark in
+  let cover = Suite.cover bench in
+  let fm = Function_matrix.build cover in
+  let geometry = fm.Function_matrix.geometry in
+  let rows = Geometry.rows geometry and cols = Geometry.cols geometry in
+  let point defect_rate =
+    let prng = Prng.create (Hashtbl.hash (seed, benchmark, defect_rate)) in
+    let hba = ref 0 and ea = ref 0 and ann = ref 0 in
+    for _ = 1 to samples do
+      let defects = Defect_map.random prng ~rows ~cols ~open_rate:defect_rate ~closed_rate:0. in
+      let cm = Matching.cm_of_defects defects in
+      if Hybrid.map fm cm <> None then incr hba;
+      if Exact.feasible fm cm then incr ea;
+      (match Annealing.map ~prng fm cm with
+      | Some assignment ->
+        assert (Matching.check_assignment ~fm:fm.Function_matrix.matrix ~cm assignment);
+        incr ann
+      | None -> ())
+    done;
+    let pct c = 100. *. float_of_int !c /. float_of_int samples in
+    { defect_rate; hba_psucc = pct hba; ea_psucc = pct ea; annealing_psucc = pct ann }
+  in
+  { benchmark; samples; points = List.map point defect_rates }
+
+let to_table sweep =
+  let table =
+    Texttable.create [ "defect rate %"; "HBA Psucc"; "EA Psucc"; "annealing Psucc" ]
+  in
+  List.iter
+    (fun p ->
+      Texttable.add_row table
+        [
+          Printf.sprintf "%.0f" (100. *. p.defect_rate);
+          Printf.sprintf "%.0f" p.hba_psucc;
+          Printf.sprintf "%.0f" p.ea_psucc;
+          Printf.sprintf "%.0f" p.annealing_psucc;
+        ])
+    sweep.points;
+  table

@@ -1,0 +1,26 @@
+(** Area / latency / energy trade-off between the two designs.
+
+    §III sells the multi-level design on area; the price — serialized
+    gate-by-gate evaluation and its write traffic — is only implicit in
+    the paper's state machines. This study makes the full trade explicit
+    per benchmark: crossbar area, computation steps (the 7-state two-level
+    sequence versus 3G+4, with the level-parallel lower bound), and
+    memristor writes per computation. *)
+
+type row = {
+  benchmark : string;
+  two_area : int;
+  multi_area : int;
+  two_steps : int;
+  multi_steps_serial : int;
+  multi_steps_parallel : int;
+  two_writes : int;
+  multi_writes : int;
+}
+
+val run : ?benchmarks:string list -> unit -> row list
+(** Defaults to the arithmetic benchmarks (exact covers). The write counts
+    are the closed-form models, which the test suite pins to the
+    instrumented simulators. *)
+
+val to_table : row list -> Mcx_util.Texttable.t

@@ -1,0 +1,36 @@
+(** Transient write-upset study: two-level vs multi-level vulnerability.
+
+    Beyond permanent defects, memristive writes occasionally mis-program
+    (a write upset). Both designs re-write the whole array every
+    computation, but they differ in exposure: the two-level design's
+    results flow through one NAND/AND pair, while the multi-level design
+    chains gate results through connection columns — a single upset early
+    in the chain propagates. This study measures the computation error
+    rate (fraction of evaluations with at least one wrong output bit) as
+    a function of the per-write upset probability. *)
+
+type point = {
+  upset_rate : float;
+  two_level_error_rate : float;  (** percent of evaluations wrong *)
+  multi_level_error_rate : float;
+}
+
+type result = {
+  benchmark : string;
+  evaluations : int;
+  two_level_writes : int;  (** writes per evaluation — the exposure *)
+  multi_level_writes : int;
+  points : point list;
+}
+
+val run :
+  ?evaluations:int ->
+  ?upset_rates:float list ->
+  seed:int ->
+  benchmark:string ->
+  unit ->
+  result
+(** Defaults: 300 evaluations per point, upset rates [1e-4; 3e-4; 1e-3;
+    3e-3]. Inputs are drawn uniformly per evaluation. *)
+
+val to_table : result -> Mcx_util.Texttable.t

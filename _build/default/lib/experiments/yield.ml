@@ -1,0 +1,68 @@
+open Mcx_util
+open Mcx_crossbar
+open Mcx_mapping
+open Mcx_benchmarks
+
+type point = {
+  spares : int;
+  area : int;
+  area_overhead : float;
+  psucc : float;
+  all_valid : bool;
+}
+
+type sweep = {
+  benchmark : string;
+  open_rate : float;
+  closed_rate : float;
+  samples : int;
+  points : point list;
+}
+
+let run ?(samples = 100) ?(spare_levels = [ 0; 1; 2; 3; 4 ]) ?(open_rate = 0.05)
+    ?(closed_rate = 0.01) ~seed ~benchmark () =
+  let bench = Suite.find benchmark in
+  let cover = Suite.cover bench in
+  let fm = Function_matrix.build cover in
+  let geometry = fm.Function_matrix.geometry in
+  let base_rows = Geometry.rows geometry and base_cols = Geometry.cols geometry in
+  let optimum_area = base_rows * base_cols in
+  let point spares =
+    let rows = base_rows + spares and cols = base_cols + spares in
+    let prng = Prng.create (Hashtbl.hash (seed, benchmark, spares)) in
+    let hits = ref 0 and all_valid = ref true in
+    for _ = 1 to samples do
+      let defects = Defect_map.random prng ~rows ~cols ~open_rate ~closed_rate in
+      match Redundant.map ~prng ~algorithm:`Hybrid fm defects with
+      | Some placement ->
+        incr hits;
+        if not (Redundant.verify fm defects placement) then all_valid := false
+      | None -> ()
+    done;
+    {
+      spares;
+      area = rows * cols;
+      area_overhead =
+        100. *. (float_of_int (rows * cols) /. float_of_int optimum_area -. 1.);
+      psucc = 100. *. float_of_int !hits /. float_of_int samples;
+      all_valid = !all_valid;
+    }
+  in
+  { benchmark; open_rate; closed_rate; samples; points = List.map point spare_levels }
+
+let to_table sweep =
+  let table =
+    Texttable.create [ "spare lines"; "area"; "overhead %"; "Psucc %"; "verified" ]
+  in
+  List.iter
+    (fun p ->
+      Texttable.add_row table
+        [
+          string_of_int p.spares;
+          string_of_int p.area;
+          Printf.sprintf "%.1f" p.area_overhead;
+          Printf.sprintf "%.0f" p.psucc;
+          (if p.all_valid then "yes" else "NO");
+        ])
+    sweep.points;
+  table

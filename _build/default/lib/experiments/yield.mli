@@ -1,0 +1,39 @@
+(** EXT-YIELD: redundancy vs yield — the paper's declared future work
+    (§IV.A: "tolerance of stuck-at closed defects is not possible without
+    any redundant crossbar lines. Yield analysis concerning the
+    relationship between area cost with redundant lines and defect
+    tolerance performance is open for future research").
+
+    The sweep provisions r spare rows and r spare columns (r = 0, 1, 2, …),
+    injects both stuck-open and stuck-closed defects, and measures mapping
+    yield with {!Mcx_mapping.Redundant}. Every successful placement is
+    re-verified against the physical validity predicate. *)
+
+type point = {
+  spares : int;
+  area : int;  (** physical area including spare lines *)
+  area_overhead : float;  (** percent over the optimum area *)
+  psucc : float;
+  all_valid : bool;
+}
+
+type sweep = {
+  benchmark : string;
+  open_rate : float;
+  closed_rate : float;
+  samples : int;
+  points : point list;
+}
+
+val run :
+  ?samples:int ->
+  ?spare_levels:int list ->
+  ?open_rate:float ->
+  ?closed_rate:float ->
+  seed:int ->
+  benchmark:string ->
+  unit ->
+  sweep
+(** Defaults: 100 samples, spares [0;1;2;3;4], 5% open, 1% closed. *)
+
+val to_table : sweep -> Mcx_util.Texttable.t

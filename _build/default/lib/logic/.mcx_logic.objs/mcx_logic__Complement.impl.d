@@ -1,0 +1,1 @@
+lib/logic/complement.ml: Cover Cube List Literal

@@ -1,0 +1,1 @@
+lib/logic/complement.mli: Cover

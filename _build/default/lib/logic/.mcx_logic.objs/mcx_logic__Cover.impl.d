@@ -1,0 +1,1 @@
+lib/logic/cover.ml: Array Bool Cube Format Int List Literal Option String

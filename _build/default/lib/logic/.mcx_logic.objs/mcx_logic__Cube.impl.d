@@ -1,0 +1,1 @@
+lib/logic/cube.ml: Array Format Fun Hashtbl Int List Literal Printf String

@@ -1,0 +1,1 @@
+lib/logic/literal.ml: Format Int Printf

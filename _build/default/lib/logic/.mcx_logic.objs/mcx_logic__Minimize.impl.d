@@ -1,0 +1,1 @@
+lib/logic/minimize.ml: Array Complement Cover Cube Int List Literal Tautology

@@ -1,0 +1,1 @@
+lib/logic/mo_cover.ml: Array Cover Cube Format Fun Hashtbl List Minimize Qm String Truthtable

@@ -1,0 +1,1 @@
+lib/logic/mo_cover.mli: Cover Cube Format

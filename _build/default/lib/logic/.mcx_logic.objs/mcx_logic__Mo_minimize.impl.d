@@ -1,0 +1,1 @@
+lib/logic/mo_minimize.ml: Array Cover Cube Fun Int List Literal Mo_cover Tautology

@@ -1,0 +1,1 @@
+lib/logic/mo_minimize.mli: Cube Mo_cover

@@ -1,0 +1,1 @@
+lib/logic/pla.ml: Array Buffer Cube Fun List Mo_cover Printf String

@@ -1,0 +1,1 @@
+lib/logic/qm.ml: Array Cover Cube Fun Hashtbl Int List Literal Option Seq Set Truthtable

@@ -1,0 +1,1 @@
+lib/logic/random_sop.ml: Array Cover Cube Hashtbl List Literal Mcx_util

@@ -1,0 +1,1 @@
+lib/logic/random_sop.mli: Cover Cube Mcx_util

@@ -1,0 +1,1 @@
+lib/logic/tautology.ml: Array Cover Cube List Literal

@@ -1,0 +1,1 @@
+lib/logic/tautology.mli: Cover Cube

@@ -1,0 +1,1 @@
+lib/logic/truthtable.ml: Array Bytes Cover List Mcx_util Printf

@@ -1,0 +1,28 @@
+(* complement(f) about a branching variable x:
+     f' = x . (f_x)'  +  x' . (f_x')'
+   Leaves: empty cover -> universe; cover containing the universe cube ->
+   empty. Branch on the most binate variable to keep the recursion shallow. *)
+
+let rec complement f =
+  let n = Cover.arity f in
+  if Cover.is_empty f then Cover.top n
+  else if List.exists (fun c -> Cube.num_literals c = 0) (Cover.cubes f) then Cover.empty n
+  else
+    match Cover.most_binate_var f with
+    | None -> Cover.empty n
+    | Some var ->
+      let pos_branch = complement (Cover.cofactor f ~var ~value:true) in
+      let neg_branch = complement (Cover.cofactor f ~var ~value:false) in
+      let attach value branch =
+        let lit = if value then Literal.Pos else Literal.Neg in
+        List.filter_map
+          (fun c ->
+            match Cube.get c var with
+            | Literal.Absent -> Some (Cube.set c var lit)
+            | Literal.Pos | Literal.Neg ->
+              (* Cofactors contain no literal of [var]; defensive. *)
+              None)
+          (Cover.cubes branch)
+      in
+      let cubes = attach true pos_branch @ attach false neg_branch in
+      Cover.single_cube_containment (Cover.create ~arity:n cubes)

@@ -1,0 +1,11 @@
+(** Cover complementation.
+
+    Needed for the paper's dual optimization (§III, §IV.B: "area cost of the
+    logic function and its negation is calculated") and for Table I's
+    "Negation of Circuit" columns. *)
+
+val complement : Cover.t -> Cover.t
+(** Recursive-Shannon complement (unate recursive paradigm). The result is
+    cleaned with single-cube containment but not fully minimized; feed it to
+    [Minimize.espresso] when cube count matters (see
+    [Minimize.complement_minimized]). *)

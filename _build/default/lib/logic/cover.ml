@@ -1,0 +1,126 @@
+type t = { arity : int; cubes : Cube.t list }
+
+let create ~arity cubes =
+  if arity < 0 then invalid_arg "Cover.create: negative arity";
+  List.iter
+    (fun c ->
+      if Cube.arity c <> arity then invalid_arg "Cover.create: cube arity mismatch")
+    cubes;
+  { arity; cubes }
+
+let empty n = create ~arity:n []
+let top n = create ~arity:n [ Cube.universe n ]
+
+let arity t = t.arity
+let cubes t = t.cubes
+let size t = List.length t.cubes
+let literal_count t = List.fold_left (fun acc c -> acc + Cube.num_literals c) 0 t.cubes
+let is_empty t = t.cubes = []
+
+let eval t v = List.exists (fun c -> Cube.eval c v) t.cubes
+
+let add_cube t c =
+  if Cube.arity c <> t.arity then invalid_arg "Cover.add_cube: arity mismatch";
+  { t with cubes = t.cubes @ [ c ] }
+
+let union a b =
+  if a.arity <> b.arity then invalid_arg "Cover.union: arity mismatch";
+  { a with cubes = a.cubes @ b.cubes }
+
+let of_strings = function
+  | [] -> invalid_arg "Cover.of_strings: empty list"
+  | first :: _ as rows ->
+    let arity = String.length first in
+    create ~arity (List.map Cube.of_string rows)
+
+let to_strings t = List.map Cube.to_string t.cubes
+
+let of_minterms ~arity ms =
+  let cube_of_minterm m =
+    if Array.length m <> arity then invalid_arg "Cover.of_minterms: arity mismatch";
+    Cube.of_literals (Array.map (fun b -> if b then Literal.Pos else Literal.Neg) m)
+  in
+  create ~arity (List.map cube_of_minterm ms)
+
+let cofactor t ~var ~value =
+  let keep c =
+    match Cube.cofactor c ~var ~value with Some c' -> Some c' | None -> None
+  in
+  { t with cubes = List.filter_map keep t.cubes }
+
+let single_cube_containment t =
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+      let covered_by other = Cube.covers other c in
+      if List.exists covered_by acc || List.exists covered_by rest then keep acc rest
+      else keep (c :: acc) rest
+  in
+  (* Process larger cubes first so that among equal cubes exactly one
+     survives: a cube is dropped if covered by an earlier survivor or by a
+     later cube, and equal cubes cover each other, so only the last equal
+     copy survives the [rest] check. Use a stable pass instead: drop c when
+     some *kept* cube covers it, or some strictly-larger later cube does. *)
+  let cubes =
+    keep []
+      (List.stable_sort (fun a b -> Int.compare (Cube.num_literals a) (Cube.num_literals b)) t.cubes)
+  in
+  { t with cubes }
+
+let sharp a b =
+  if a.arity <> b.arity then invalid_arg "Cover.sharp: arity mismatch";
+  let sharp_cube_by_cover c =
+    List.fold_left
+      (fun pieces divisor ->
+        List.concat_map (fun piece -> Cube.sharp piece divisor) pieces)
+      [ c ] b.cubes
+  in
+  single_cube_containment
+    { a with cubes = List.concat_map sharp_cube_by_cover a.cubes }
+
+let equal_semantics a b =
+  if a.arity <> b.arity then invalid_arg "Cover.equal_semantics: arity mismatch";
+  if a.arity > 22 then invalid_arg "Cover.equal_semantics: arity too large";
+  let n = a.arity in
+  let v = Array.make n false in
+  let rec go idx =
+    if idx = 1 lsl n then true
+    else begin
+      for i = 0 to n - 1 do
+        v.(i) <- (idx lsr i) land 1 = 1
+      done;
+      Bool.equal (eval a v) (eval b v) && go (idx + 1)
+    end
+  in
+  go 0
+
+let var_occurrences t var =
+  let pos = ref 0 and neg = ref 0 in
+  List.iter
+    (fun c ->
+      match Cube.get c var with
+      | Literal.Pos -> incr pos
+      | Literal.Neg -> incr neg
+      | Literal.Absent -> ())
+    t.cubes;
+  (!pos, !neg)
+
+let most_binate_var t =
+  let best = ref None in
+  for var = 0 to t.arity - 1 do
+    let pos, neg = var_occurrences t var in
+    if pos + neg > 0 then begin
+      let key = (min pos neg, pos + neg) in
+      match !best with
+      | Some (_, best_key) when compare key best_key <= 0 -> ()
+      | Some _ | None -> best := Some (var, key)
+    end
+  done;
+  Option.map fst !best
+
+let pp ppf t =
+  if is_empty t then Format.fprintf ppf "<empty/%d>" t.arity
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+      Cube.pp ppf t.cubes

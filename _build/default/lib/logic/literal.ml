@@ -1,0 +1,36 @@
+type t = Neg | Pos | Absent
+
+let equal a b =
+  match (a, b) with
+  | Neg, Neg | Pos, Pos | Absent, Absent -> true
+  | (Neg | Pos | Absent), _ -> false
+
+let rank = function Neg -> 0 | Pos -> 1 | Absent -> 2
+let compare a b = Int.compare (rank a) (rank b)
+
+let of_char = function
+  | '0' -> Neg
+  | '1' -> Pos
+  | '-' | '2' -> Absent
+  | c -> invalid_arg (Printf.sprintf "Literal.of_char: %C" c)
+
+let to_char = function Neg -> '0' | Pos -> '1' | Absent -> '-'
+let complement = function Neg -> Pos | Pos -> Neg | Absent -> Absent
+
+let intersect a b =
+  match (a, b) with
+  | Absent, x | x, Absent -> Some x
+  | Pos, Pos -> Some Pos
+  | Neg, Neg -> Some Neg
+  | Pos, Neg | Neg, Pos -> None
+
+let covers a b =
+  match (a, b) with
+  | Absent, _ -> true
+  | Pos, Pos | Neg, Neg -> true
+  | (Pos | Neg), _ -> false
+
+let matches l v =
+  match l with Absent -> true | Pos -> v | Neg -> not v
+
+let pp ppf l = Format.pp_print_char ppf (to_char l)

@@ -1,0 +1,32 @@
+(** The value a cube assigns to one input variable.
+
+    Follows the espresso PLA convention: ['1'] the positive literal appears,
+    ['0'] the complemented literal appears, ['-'] the variable is absent. *)
+
+type t = Neg | Pos | Absent
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_char : char -> t
+(** Accepts ['0'], ['1'], ['-'] (and ['2'] as an alias for ['-'], which some
+    PLA writers emit). @raise Invalid_argument otherwise. *)
+
+val to_char : t -> char
+
+val complement : t -> t
+(** Swaps [Pos] and [Neg]; [Absent] is a fixpoint. *)
+
+val intersect : t -> t -> t option
+(** Meet in the lattice [Absent > Pos, Neg]: [None] when one side is [Pos]
+    and the other [Neg] (empty intersection). *)
+
+val covers : t -> t -> bool
+(** [covers a b] is true when every assignment satisfying [b]'s constraint
+    satisfies [a]'s, i.e. [a = Absent] or [a = b]. *)
+
+val matches : t -> bool -> bool
+(** [matches l v]: does variable value [v] satisfy the literal? [Absent]
+    matches both values. *)
+
+val pp : Format.formatter -> t -> unit

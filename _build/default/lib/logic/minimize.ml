@@ -1,0 +1,140 @@
+let cost f = (Cover.size f, Cover.literal_count f)
+
+let expand f =
+  let n = Cover.arity f in
+  let expand_cube c =
+    (* Try raising each literal; keep a raise when the grown cube is still
+       inside the function. Raising order: variable index — deterministic. *)
+    let current = ref c in
+    for var = 0 to n - 1 do
+      match Cube.get !current var with
+      | Literal.Absent -> ()
+      | Literal.Pos | Literal.Neg ->
+        let raised = Cube.set !current var Literal.Absent in
+        if Tautology.cube_covered raised f then current := raised
+    done;
+    !current
+  in
+  let by_fewest_minterms a b = Int.compare (Cube.num_literals b) (Cube.num_literals a) in
+  let cubes = List.stable_sort by_fewest_minterms (Cover.cubes f) in
+  let expanded = List.map expand_cube cubes in
+  Cover.single_cube_containment (Cover.create ~arity:n expanded)
+
+let irredundant f =
+  let n = Cover.arity f in
+  let rec sweep kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+      let others = Cover.create ~arity:n (List.rev_append kept rest) in
+      if Tautology.cube_covered c others then sweep kept rest
+      else sweep (c :: kept) rest
+  in
+  (* Visiting large cubes last keeps the specific cubes only when needed. *)
+  let by_most_minterms a b = Int.compare (Cube.num_literals a) (Cube.num_literals b) in
+  let cubes = List.stable_sort by_most_minterms (Cover.cubes f) in
+  Cover.create ~arity:n (sweep [] cubes)
+
+(* Cofactor a cover with respect to a cube: the cover's behaviour inside the
+   cube's subspace, expressed over the free variables. *)
+let cofactor_wrt_cube f c =
+  let n = Cover.arity f in
+  let cofactor_one g =
+    match Cube.intersect g c with
+    | None -> None
+    | Some _ ->
+      let out = Array.make n Literal.Absent in
+      for i = 0 to n - 1 do
+        match Cube.get c i with
+        | Literal.Absent -> out.(i) <- Cube.get g i
+        | Literal.Pos | Literal.Neg -> ()
+      done;
+      Some (Cube.of_literals out)
+  in
+  Cover.create ~arity:n (List.filter_map cofactor_one (Cover.cubes f))
+
+let reduce f =
+  let n = Cover.arity f in
+  let reduce_cube others c =
+    let inside = cofactor_wrt_cube others c in
+    let comp = Complement.complement inside in
+    match Cover.cubes comp with
+    | [] -> c (* fully covered by others; irredundant will delete it *)
+    | first :: rest ->
+      let sc = List.fold_left Cube.supercube first rest in
+      (* Smallest cube containing c minus the others: keep c's fixed
+         literals, adopt the supercube's constraint on free variables. *)
+      let out =
+        Array.init n (fun i ->
+            match Cube.get c i with
+            | Literal.Absent -> Cube.get sc i
+            | (Literal.Pos | Literal.Neg) as l -> l)
+      in
+      Cube.of_literals out
+  in
+  let rec sweep done_ = function
+    | [] -> List.rev done_
+    | c :: rest ->
+      let others = Cover.create ~arity:n (List.rev_append done_ rest) in
+      sweep (reduce_cube others c :: done_) rest
+  in
+  (* Reduce largest cubes first: they overlap the most. *)
+  let by_fewest_literals a b = Int.compare (Cube.num_literals a) (Cube.num_literals b) in
+  Cover.create ~arity:n (sweep [] (List.stable_sort by_fewest_literals (Cover.cubes f)))
+
+let espresso f =
+  let better a b = compare a b < 0 in
+  let rec loop current current_cost budget =
+    if budget = 0 then current
+    else begin
+      let candidate = irredundant (expand (reduce current)) in
+      let candidate_cost = cost candidate in
+      if better candidate_cost current_cost then loop candidate candidate_cost (budget - 1)
+      else current
+    end
+  in
+  let start = irredundant (expand (Cover.single_cube_containment f)) in
+  loop start (cost start) 8
+
+let espresso_dc ~dc f =
+  if Cover.arity dc <> Cover.arity f then invalid_arg "Minimize.espresso_dc: arity mismatch";
+  let n = Cover.arity f in
+  let freedom = Cover.union f dc in
+  (* Expansion may grow into ON u DC; a cube is redundant when the other
+     cubes plus the DC set cover it; cubes entirely inside DC go first. *)
+  let expand_dc g =
+    let expand_cube c =
+      let current = ref c in
+      for var = 0 to n - 1 do
+        match Cube.get !current var with
+        | Literal.Absent -> ()
+        | Literal.Pos | Literal.Neg ->
+          let raised = Cube.set !current var Literal.Absent in
+          if Tautology.cube_covered raised freedom then current := raised
+      done;
+      !current
+    in
+    Cover.single_cube_containment (Cover.create ~arity:n (List.map expand_cube (Cover.cubes g)))
+  in
+  let irredundant_dc g =
+    let rec sweep kept = function
+      | [] -> List.rev kept
+      | c :: rest ->
+        let others = Cover.union (Cover.create ~arity:n (List.rev_append kept rest)) dc in
+        if Tautology.cube_covered c others then sweep kept rest else sweep (c :: kept) rest
+    in
+    let by_most_minterms a b = Int.compare (Cube.num_literals a) (Cube.num_literals b) in
+    Cover.create ~arity:n (sweep [] (List.stable_sort by_most_minterms (Cover.cubes g)))
+  in
+  let rec loop current current_cost budget =
+    if budget = 0 then current
+    else begin
+      let candidate = irredundant_dc (expand_dc current) in
+      let candidate_cost = cost candidate in
+      if compare candidate_cost current_cost < 0 then loop candidate candidate_cost (budget - 1)
+      else current
+    end
+  in
+  let start = irredundant_dc (expand_dc (Cover.single_cube_containment f)) in
+  loop start (cost start) 6
+
+let complement_minimized f = espresso (Complement.complement f)

@@ -1,0 +1,38 @@
+(** Heuristic two-level minimization (an "espresso-lite").
+
+    Implements the classic EXPAND / IRREDUNDANT / REDUCE loop over
+    {!Cover.t}, using tautology-based containment tests instead of an
+    explicit off-set. This is the substitute for the two-level front of the
+    paper's EDA flow: it produces the product counts P that drive the
+    crossbar area model. The result is functionally equal to the input
+    (property-tested) but generally not minimum. *)
+
+val expand : Cover.t -> Cover.t
+(** Raise literals of each cube to don't-care while the cube stays inside
+    the function; then remove single-cube-contained cubes. *)
+
+val irredundant : Cover.t -> Cover.t
+(** Greedily drop cubes covered by the rest of the cover. *)
+
+val reduce : Cover.t -> Cover.t
+(** Shrink each cube to the smallest cube containing its essential part
+    (the part not covered by other cubes), enabling the next expand to move
+    out of local minima. *)
+
+val espresso : Cover.t -> Cover.t
+(** Iterate expand/irredundant/reduce until the (cube count, literal count)
+    cost stops improving. *)
+
+val espresso_dc : dc:Cover.t -> Cover.t -> Cover.t
+(** Minimization with a don't-care set: cubes may expand into [dc], and
+    coverage obligations falling inside [dc] are waived. The result [g]
+    satisfies [ON ⊆ g ∪ DC] and [g ⊆ ON ∪ DC] (property-tested): every
+    care ON-point stays covered and no OFF-point is touched. @raise
+    Invalid_argument on arity mismatch. *)
+
+val cost : Cover.t -> int * int
+(** [(cubes, literals)] — the minimization objective, lexicographic. *)
+
+val complement_minimized : Cover.t -> Cover.t
+(** {!Complement.complement} followed by {!espresso} — the negated-circuit
+    covers of Table I are produced this way. *)

@@ -1,0 +1,120 @@
+(* Rows are (cube, output mask) pairs; the reference per-output functions
+   are fixed once from the input cover, so every transformation is checked
+   against the original semantics. *)
+
+let output_cover_of rows ~n_inputs k =
+  Cover.create ~arity:n_inputs
+    (List.filter_map
+       (fun (cube, mask) -> if Array.get mask k then Some cube else None)
+       rows)
+
+let row_obligations_covered mo ~cube ~output ~without =
+  let others =
+    List.filter_map
+      (fun r ->
+        if r.Mo_cover.outputs.(output) && not (List.exists (Cube.equal r.Mo_cover.cube) without)
+        then Some r.Mo_cover.cube
+        else None)
+      (Mo_cover.rows mo)
+  in
+  Tautology.cube_covered cube (Cover.create ~arity:(Mo_cover.n_inputs mo) others)
+
+let minimize_joint ?(passes = 4) mo =
+  let n_inputs = Mo_cover.n_inputs mo in
+  let n_outputs = Mo_cover.n_outputs mo in
+  (* reference functions, fixed *)
+  let reference = Array.init n_outputs (fun k -> Mo_cover.output_cover mo k) in
+  let covered_by_reference cube k = Tautology.cube_covered cube reference.(k) in
+
+  let expand_outputs rows =
+    List.map
+      (fun (cube, mask) ->
+        let mask = Array.copy mask in
+        for k = 0 to n_outputs - 1 do
+          if (not mask.(k)) && covered_by_reference cube k then mask.(k) <- true
+        done;
+        (cube, mask))
+      rows
+  in
+
+  let expand_inputs rows =
+    List.map
+      (fun (cube, mask) ->
+        let current = ref cube in
+        for var = 0 to n_inputs - 1 do
+          match Cube.get !current var with
+          | Literal.Absent -> ()
+          | Literal.Pos | Literal.Neg ->
+            let raised = Cube.set !current var Literal.Absent in
+            let ok = ref true in
+            for k = 0 to n_outputs - 1 do
+              if mask.(k) && not (covered_by_reference raised k) then ok := false
+            done;
+            if !ok then current := raised
+        done;
+        (!current, mask))
+      rows
+  in
+
+  let irredundant rows =
+    (* visit small cubes first so the specific rows get dropped in favour
+       of the expanded ones *)
+    let sorted =
+      List.stable_sort
+        (fun (a, _) (b, _) -> Int.compare (Cube.num_literals b) (Cube.num_literals a))
+        rows
+    in
+    let rec sweep kept = function
+      | [] -> List.rev kept
+      | (cube, mask) :: rest ->
+        let remaining = kept @ rest in
+        let needed k =
+          mask.(k)
+          &&
+          let others = output_cover_of remaining ~n_inputs k in
+          not (Tautology.cube_covered cube others)
+        in
+        let any_needed = List.exists needed (List.init n_outputs Fun.id) in
+        if any_needed then sweep ((cube, mask) :: kept) rest else sweep kept rest
+    in
+    sweep [] sorted
+  in
+
+  let to_mo rows =
+    Mo_cover.create ~n_inputs ~n_outputs
+      (List.map (fun (cube, outputs) -> { Mo_cover.cube; outputs }) rows)
+  in
+
+  (* espresso's make_sparse: after the row count settles, strip output
+     connections that other rows already provide. Fewer AND-plane
+     switches means a lower inclusion ratio and an easier defect-tolerant
+     mapping — the output expansion above was only a vehicle for dropping
+     rows, not an end state. *)
+  let make_sparse rows =
+    let rows = Array.of_list rows in
+    for i = 0 to Array.length rows - 1 do
+      let cube, mask = rows.(i) in
+      for k = 0 to n_outputs - 1 do
+        if mask.(k) && Array.exists Fun.id mask then begin
+          let others =
+            Array.to_list rows
+            |> List.mapi (fun j (c, m) -> if j <> i && m.(k) then Some c else None)
+            |> List.filter_map Fun.id
+          in
+          if
+            Array.fold_left (fun n b -> if b then n + 1 else n) 0 mask > 1
+            && Tautology.cube_covered cube (Cover.create ~arity:n_inputs others)
+          then mask.(k) <- false
+        end
+      done;
+      rows.(i) <- (cube, mask)
+    done;
+    Array.to_list rows
+  in
+
+  let rec loop rows budget =
+    let next = irredundant (expand_inputs (expand_outputs rows)) in
+    if budget <= 1 || List.length next >= List.length rows then next else loop next (budget - 1)
+  in
+  let rows = List.map (fun r -> (r.Mo_cover.cube, Array.copy r.Mo_cover.outputs)) (Mo_cover.rows mo) in
+  to_mo (make_sparse (loop rows passes))

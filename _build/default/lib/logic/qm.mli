@@ -1,0 +1,13 @@
+(** Quine–McCluskey two-level minimization (exact primes, heuristic cover).
+
+    Generates all prime implicants of a truth table exactly, then selects a
+    cover using essential primes plus greedy completion. Practical up to
+    roughly 12 variables; the arithmetic benchmark generators use it to get
+    stable, near-minimum product counts. *)
+
+val primes : Truthtable.t -> Cube.t list
+(** All prime implicants of the ON-set. *)
+
+val minimize : Truthtable.t -> Cover.t
+(** Essential primes + greedy covering of the remaining minterms. The result
+    covers exactly the ON-set (property-tested). *)

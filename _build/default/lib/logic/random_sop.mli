@@ -1,0 +1,29 @@
+(** Random Boolean function generation for the Fig. 6 Monte Carlo study.
+
+    The paper generates random functions, synthesizes them two-level and
+    multi-level, and compares area. These generators mirror that setup:
+    random SOP covers with controllable product count and literal density,
+    plus a helper reproducing the paper's sweep parameters. *)
+
+type params = {
+  n_inputs : int;
+  n_products : int;
+  literal_probability : float;
+      (** Probability that each variable appears in a cube (then sign is a
+          fair coin). Cubes drawn empty are redrawn: the universe cube would
+          collapse the function to constant true. *)
+}
+
+val random_cube : Mcx_util.Prng.t -> n_inputs:int -> literal_probability:float -> Cube.t
+(** One non-empty random cube. *)
+
+val random_cover : Mcx_util.Prng.t -> params -> Cover.t
+(** [n_products] distinct random cubes (duplicates redrawn; gives up and
+    accepts a duplicate after 100 attempts per slot to guarantee
+    termination for tiny spaces). *)
+
+val paper_params : Mcx_util.Prng.t -> n_inputs:int -> params
+(** Draw the per-sample parameters used for Fig. 6: the product count is
+    uniform in [n/2, 3n] (so panels show samples sorted by product count,
+    with multi-level winning more often toward larger product counts) and
+    the literal probability is uniform in [0.35, 0.75]. *)

@@ -1,0 +1,53 @@
+(* Unate recursive paradigm (Brayton et al., "Logic Minimization Algorithms
+   for VLSI Synthesis", ch. 2): a cover is a tautology iff both Shannon
+   cofactors about a binate variable are tautologies; a unate cover is a
+   tautology iff it contains the universe cube. *)
+
+let rec check f =
+  let cubes = Cover.cubes f in
+  if List.exists (fun c -> Cube.num_literals c = 0) cubes then true
+  else if Cover.is_empty f then false
+  else
+    match Cover.most_binate_var f with
+    | None -> false (* non-empty, no literals handled above; unreachable *)
+    | Some var ->
+      let pos, neg = Cover.var_occurrences f var in
+      if pos = 0 || neg = 0 then
+        (* Variable is unate: removing a unate variable's literals weakens
+           nothing for tautology — a unate cover is a tautology iff deleting
+           all cubes containing the unate literal leaves a tautology. We use
+           the single-cofactor shortcut: cofactor on the side that keeps all
+           cubes alive. *)
+        let value = pos = 0 in
+        check (Cover.cofactor f ~var ~value)
+      else
+        check (Cover.cofactor f ~var ~value:true)
+        && check (Cover.cofactor f ~var ~value:false)
+
+let cube_covered c f =
+  if Cube.arity c <> Cover.arity f then invalid_arg "Tautology.cube_covered: arity mismatch";
+  (* Cofactor f with respect to cube c, then test tautology. *)
+  let n = Cover.arity f in
+  let cofactor_cube g =
+    match Cube.intersect g c with
+    | None -> None
+    | Some _ ->
+      (* Remove from g every literal fixed by c (they are satisfied inside
+         c's subspace); conflicts were ruled out by the intersection test. *)
+      let out = Array.make n Literal.Absent in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        match (Cube.get c i, Cube.get g i) with
+        | Literal.Absent, l -> out.(i) <- l
+        | (Literal.Pos | Literal.Neg), Literal.Absent -> ()
+        | Literal.Pos, Literal.Pos | Literal.Neg, Literal.Neg -> ()
+        | Literal.Pos, Literal.Neg | Literal.Neg, Literal.Pos -> ok := false
+      done;
+      if !ok then Some (Cube.of_literals out) else None
+  in
+  let cofactored = List.filter_map cofactor_cube (Cover.cubes f) in
+  check (Cover.create ~arity:n cofactored)
+
+let cover_covered f g = List.for_all (fun c -> cube_covered c g) (Cover.cubes f)
+
+let equal f g = cover_covered f g && cover_covered g f

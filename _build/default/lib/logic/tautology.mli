@@ -1,0 +1,19 @@
+(** Tautology checking and cover containment.
+
+    The recursive unate-reduction + Shannon-expansion procedure from the
+    espresso family. These predicates are the workhorses behind
+    complementation, cube expansion and irredundant-cover extraction. *)
+
+val check : Cover.t -> bool
+(** [check f] is true iff [f] is the constant-true function. *)
+
+val cube_covered : Cube.t -> Cover.t -> bool
+(** [cube_covered c f]: every minterm of [c] is covered by [f]. Implemented
+    as a tautology check of the cofactor of [f] with respect to [c].
+    @raise Invalid_argument on arity mismatch. *)
+
+val cover_covered : Cover.t -> Cover.t -> bool
+(** [cover_covered f g]: f implies g (every cube of [f] is covered by [g]). *)
+
+val equal : Cover.t -> Cover.t -> bool
+(** Mutual containment — semantic equality without truth-table expansion. *)

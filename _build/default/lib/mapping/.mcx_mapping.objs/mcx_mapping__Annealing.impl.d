@@ -1,0 +1,1 @@
+lib/mapping/annealing.ml: Array Bmatrix Fun Mcx_crossbar Mcx_util Prng

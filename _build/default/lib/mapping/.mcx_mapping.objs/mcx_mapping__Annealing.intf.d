@@ -1,0 +1,1 @@
+lib/mapping/annealing.mli: Mcx_crossbar Mcx_util

@@ -1,0 +1,1 @@
+lib/mapping/exact.ml: Bmatrix Fun List Matching Mcx_crossbar Mcx_util Munkres Option

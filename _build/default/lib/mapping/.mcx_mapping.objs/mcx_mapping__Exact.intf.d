@@ -1,0 +1,1 @@
+lib/mapping/exact.mli: Mcx_crossbar Mcx_util

@@ -1,0 +1,1 @@
+lib/mapping/hybrid.ml: Array Bmatrix Fun Function_matrix Int List Matching Mcx_crossbar Mcx_util Munkres

@@ -1,0 +1,1 @@
+lib/mapping/hybrid.mli: Mcx_crossbar Mcx_util

@@ -1,0 +1,1 @@
+lib/mapping/matching.ml: Array Bmatrix Fun Hashtbl List Mcx_crossbar Mcx_util Seq

@@ -1,0 +1,1 @@
+lib/mapping/matching.mli: Mcx_crossbar Mcx_util

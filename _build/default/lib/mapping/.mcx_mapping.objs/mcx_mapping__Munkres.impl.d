@@ -1,0 +1,1 @@
+lib/mapping/munkres.ml: Array

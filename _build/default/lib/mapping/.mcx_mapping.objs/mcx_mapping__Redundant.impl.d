@@ -1,0 +1,1 @@
+lib/mapping/redundant.ml: Array Bmatrix Defect_map Exact Fun Function_matrix Hybrid Junction Layout Mcx_crossbar Mcx_util Option Prng

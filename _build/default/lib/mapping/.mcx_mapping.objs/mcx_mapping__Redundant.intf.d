@@ -1,0 +1,1 @@
+lib/mapping/redundant.mli: Mcx_crossbar Mcx_util

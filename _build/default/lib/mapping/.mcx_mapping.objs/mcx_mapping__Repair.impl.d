@@ -1,0 +1,1 @@
+lib/mapping/repair.ml: Array Bmatrix Exact Fun List Matching Mcx_util

@@ -1,0 +1,1 @@
+lib/mapping/repair.mli: Mcx_util

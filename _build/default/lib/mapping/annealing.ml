@@ -1,0 +1,76 @@
+open Mcx_util
+
+type params = {
+  initial_temperature : float;
+  cooling : float;
+  sweeps : int;
+  moves_per_sweep : int;
+}
+
+let default_params =
+  { initial_temperature = 2.0; cooling = 0.95; sweeps = 60; moves_per_sweep = 0 }
+
+let row_cost ~fm ~cm fm_row cm_row =
+  let cols = Bmatrix.cols fm in
+  let bad = ref 0 in
+  for j = 0 to cols - 1 do
+    if Bmatrix.get fm fm_row j && not (Bmatrix.get cm cm_row j) then incr bad
+  done;
+  !bad
+
+let cost ~fm ~cm assignment =
+  let total = ref 0 in
+  Array.iteri (fun fm_row cm_row -> total := !total + row_cost ~fm ~cm fm_row cm_row) assignment;
+  !total
+
+let map ?(params = default_params) ~prng fm_struct cm =
+  let fm = fm_struct.Mcx_crossbar.Function_matrix.matrix in
+  if Bmatrix.cols cm <> Bmatrix.cols fm then
+    invalid_arg "Annealing.map: column count mismatch";
+  let n_fm = Bmatrix.rows fm and n_cm = Bmatrix.rows cm in
+  if n_cm < n_fm then invalid_arg "Annealing.map: crossbar has fewer rows than the FM";
+  (* The assignment is the first n_fm entries of a permutation of the
+     crossbar rows; the tail holds the unused (spare) rows so swaps can
+     pull them in. *)
+  let perm = Array.init n_cm Fun.id in
+  Prng.shuffle_in_place prng perm;
+  let per_row_cost =
+    Array.init n_fm (fun fm_row -> row_cost ~fm ~cm fm_row perm.(fm_row))
+  in
+  let current = ref (Array.fold_left ( + ) 0 per_row_cost) in
+  let moves_per_sweep =
+    if params.moves_per_sweep > 0 then params.moves_per_sweep else 4 * n_cm
+  in
+  let temperature = ref params.initial_temperature in
+  let sweep = ref 0 in
+  while !current > 0 && !sweep < params.sweeps do
+    for _ = 1 to moves_per_sweep do
+      if !current > 0 then begin
+        (* swap the targets of two slots; the second may be a spare *)
+        let a = Prng.int prng n_fm in
+        let b = Prng.int prng n_cm in
+        if a <> b then begin
+          let delta_a_new = row_cost ~fm ~cm a perm.(b) in
+          let b_is_fm = b < n_fm in
+          let delta_b_new = if b_is_fm then row_cost ~fm ~cm b perm.(a) else 0 in
+          let old_cost = per_row_cost.(a) + if b_is_fm then per_row_cost.(b) else 0 in
+          let delta = delta_a_new + delta_b_new - old_cost in
+          let accept =
+            delta <= 0
+            || Prng.float prng < exp (-.float_of_int delta /. max 1e-9 !temperature)
+          in
+          if accept then begin
+            let tmp = perm.(a) in
+            perm.(a) <- perm.(b);
+            perm.(b) <- tmp;
+            per_row_cost.(a) <- delta_a_new;
+            if b_is_fm then per_row_cost.(b) <- delta_b_new;
+            current := !current + delta
+          end
+        end
+      end
+    done;
+    temperature := !temperature *. params.cooling;
+    incr sweep
+  done;
+  if !current = 0 then Some (Array.sub perm 0 n_fm) else None

@@ -1,0 +1,34 @@
+(** Simulated-annealing mapping baseline.
+
+    The nano-crossbar mapping literature the paper positions itself
+    against (§I: [13], [14]) leans on stochastic search. This baseline
+    anneals over full row permutations — cost is the number of required
+    switches landing on defective junctions — and serves as the third
+    point in the algorithm ablation: slower than the hybrid heuristic,
+    without the exact algorithm's completeness guarantee. *)
+
+type params = {
+  initial_temperature : float;  (** in cost units; default 2.0 *)
+  cooling : float;  (** geometric factor per sweep; default 0.95 *)
+  sweeps : int;  (** temperature steps; default 60 *)
+  moves_per_sweep : int;  (** proposed swaps per step; default 4 x rows *)
+}
+
+val default_params : params
+
+val map :
+  ?params:params ->
+  prng:Mcx_util.Prng.t ->
+  Mcx_crossbar.Function_matrix.t ->
+  Mcx_util.Bmatrix.t ->
+  int array option
+(** Anneal a row assignment; returns the first zero-cost permutation found
+    (validity re-checkable with {!Matching.check_assignment}), or [None]
+    when the budget is exhausted above cost zero. The crossbar must have
+    at least as many rows as the FM. *)
+
+val cost :
+  fm:Mcx_util.Bmatrix.t -> cm:Mcx_util.Bmatrix.t -> int array -> int
+(** The annealer's objective: number of (row, column) positions where the
+    FM requires a switch but the assigned crossbar junction is defective.
+    Zero iff the assignment is valid. *)

@@ -1,0 +1,55 @@
+open Mcx_util
+
+let cm_of_defects defects =
+  let rows = Mcx_crossbar.Defect_map.rows defects in
+  let cols = Mcx_crossbar.Defect_map.cols defects in
+  let cm = Bmatrix.create ~rows ~cols false in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if
+        Mcx_crossbar.Junction.defect_equal
+          (Mcx_crossbar.Defect_map.get defects i j)
+          Mcx_crossbar.Junction.Functional
+      then Bmatrix.set cm i j true
+    done
+  done;
+  cm
+
+let row_matches ~fm ~fm_row ~cm ~cm_row =
+  if Bmatrix.cols fm <> Bmatrix.cols cm then
+    invalid_arg "Matching.row_matches: column count mismatch";
+  let cols = Bmatrix.cols fm in
+  let rec go j =
+    j = cols || ((not (Bmatrix.get fm fm_row j)) || Bmatrix.get cm cm_row j) && go (j + 1)
+  in
+  go 0
+
+let matching_matrix ~fm ~fm_rows ~cm ~cm_rows =
+  let cm_rows = Array.of_list cm_rows in
+  Array.of_list
+    (List.map
+       (fun fm_row ->
+         Array.map
+           (fun cm_row -> if row_matches ~fm ~fm_row ~cm ~cm_row then 0 else 1)
+           cm_rows)
+       fm_rows)
+
+let check_assignment ~fm ~cm assignment =
+  Array.length assignment = Bmatrix.rows fm
+  && Array.length (Array.of_seq (Seq.filter (fun x -> x >= 0) (Array.to_seq assignment)))
+     = Array.length assignment
+  &&
+  let seen = Hashtbl.create (Array.length assignment) in
+  let distinct =
+    Array.for_all
+      (fun target ->
+        if target < 0 || target >= Bmatrix.rows cm || Hashtbl.mem seen target then false
+        else begin
+          Hashtbl.replace seen target ();
+          true
+        end)
+      assignment
+  in
+  distinct
+  && Array.for_all Fun.id
+       (Array.mapi (fun fm_row cm_row -> row_matches ~fm ~fm_row ~cm ~cm_row) assignment)

@@ -1,0 +1,33 @@
+(** Row matching between function and crossbar matrices (§IV.B).
+
+    A crossbar matrix (CM) entry is 1 for a functional switch and 0 for a
+    stuck-open one. An FM row fits a CM row when every required switch (FM
+    1) lands on a functional junction (CM 1); FM 0 entries accept both,
+    because a stuck-open junction behaves exactly like a disabled one. *)
+
+val cm_of_defects : Mcx_crossbar.Defect_map.t -> Mcx_util.Bmatrix.t
+(** Crossbar matrix of a defect map: 1 = functional. Stuck-closed junctions
+    also read 0 here; use {!Redundant} when closed defects are in play,
+    since they additionally poison whole lines. *)
+
+val row_matches :
+  fm:Mcx_util.Bmatrix.t -> fm_row:int -> cm:Mcx_util.Bmatrix.t -> cm_row:int -> bool
+(** The paper's element-by-element row-matching rule. @raise
+    Invalid_argument when column counts differ or indices are out of
+    range. *)
+
+val matching_matrix :
+  fm:Mcx_util.Bmatrix.t ->
+  fm_rows:int list ->
+  cm:Mcx_util.Bmatrix.t ->
+  cm_rows:int list ->
+  int array array
+(** Cost matrix for the assignment step: entry 0 when the FM row (outer
+    index) can be placed on the CM row (inner index), 1 otherwise — the
+    representation of Fig. 8(c). *)
+
+val check_assignment :
+  fm:Mcx_util.Bmatrix.t -> cm:Mcx_util.Bmatrix.t -> int array -> bool
+(** [check_assignment ~fm ~cm a]: [a] maps every FM row to a distinct CM
+    row and every mapping satisfies {!row_matches} — the post-condition of
+    both mapping algorithms. *)

@@ -1,0 +1,97 @@
+open Mcx_util
+open Mcx_crossbar
+
+type placement = { row_assignment : int array; col_assignment : int array }
+
+(* Build the CM restricted to a column choice: entry (r, j) true when the
+   junction at (r, chosen.(j)) is functional. Rows carrying a stuck-closed
+   defect in any chosen column are struck out entirely (all-false rows can
+   never match a product row; genuinely empty FM rows do not occur because
+   every row holds at least an output connection). *)
+let restricted_cm defects chosen =
+  let rows = Defect_map.rows defects in
+  let cols = Array.length chosen in
+  let cm = Bmatrix.create ~rows ~cols false in
+  let row_blocked = Array.make rows false in
+  for r = 0 to rows - 1 do
+    Array.iter
+      (fun c ->
+        if Junction.defect_equal (Defect_map.get defects r c) Junction.Stuck_closed then
+          row_blocked.(r) <- true)
+      chosen
+  done;
+  for r = 0 to rows - 1 do
+    if not row_blocked.(r) then
+      Array.iteri
+        (fun j c ->
+          if Junction.defect_equal (Defect_map.get defects r c) Junction.Functional then
+            Bmatrix.set cm r j true)
+        chosen
+  done;
+  cm
+
+(* Column scoring: closed defects make a column nearly unusable, open
+   defects reduce its matching freedom. *)
+let column_score defects c =
+  let score = ref 0 in
+  for r = 0 to Defect_map.rows defects - 1 do
+    match Defect_map.get defects r c with
+    | Junction.Stuck_closed -> score := !score + 1000
+    | Junction.Stuck_open -> score := !score + 1
+    | Junction.Functional -> ()
+  done;
+  !score
+
+let greedy_columns defects ~wanted =
+  let all = Array.init (Defect_map.cols defects) Fun.id in
+  let scored = Array.map (fun c -> (column_score defects c, c)) all in
+  Array.sort compare scored;
+  (* Keep the chosen set in natural column order so that with zero spare
+     columns the choice degenerates to the identity. *)
+  let chosen = Array.sub (Array.map snd scored) 0 wanted in
+  Array.sort compare chosen;
+  chosen
+
+let random_columns prng defects ~wanted =
+  let all = Array.init (Defect_map.cols defects) Fun.id in
+  Prng.shuffle_in_place prng all;
+  Array.sub all 0 wanted
+
+let map ?(attempts = 8) ~prng ~algorithm fm_struct defects =
+  let fm = fm_struct.Function_matrix.matrix in
+  let fm_rows = Bmatrix.rows fm and fm_cols = Bmatrix.cols fm in
+  if Defect_map.rows defects < fm_rows || Defect_map.cols defects < fm_cols then
+    invalid_arg "Redundant.map: defect map smaller than the function matrix";
+  let attempt chosen =
+    let cm = restricted_cm defects chosen in
+    let row_assignment =
+      match algorithm with
+      | `Hybrid -> Hybrid.map fm_struct cm
+      | `Exact -> Exact.map fm_struct cm
+    in
+    Option.map
+      (fun row_assignment -> { row_assignment; col_assignment = chosen })
+      row_assignment
+  in
+  let rec try_attempts k =
+    if k >= attempts then None
+    else begin
+      let chosen =
+        if k = 0 then greedy_columns defects ~wanted:fm_cols
+        else random_columns prng defects ~wanted:fm_cols
+      in
+      match attempt chosen with
+      | Some placement -> Some placement
+      | None -> try_attempts (k + 1)
+    end
+  in
+  try_attempts 0
+
+let verify fm_struct defects placement =
+  let layout =
+    Layout.place ~row_assignment:placement.row_assignment
+      ~col_assignment:placement.col_assignment
+      ~physical_rows:(Defect_map.rows defects)
+      ~physical_cols:(Defect_map.cols defects) fm_struct
+  in
+  Layout.respects layout defects

@@ -1,0 +1,38 @@
+(** Redundancy-aware mapping — the paper's stated future work (§IV.A, §VI).
+
+    Optimum-size crossbars cannot tolerate stuck-at-closed defects at all:
+    a closed junction poisons its whole horizontal and vertical line. With
+    [spare_rows] x [spare_cols] of extra lines, mapping becomes a joint
+    row/column selection problem. The heuristic here:
+
+    + score physical columns by their defect load and pick a distinct
+      target column per FM column (closed defects weigh heaviest);
+    + restrict the crossbar matrix to the chosen columns, drop rows that
+      carry a closed defect in any chosen column, and run the hybrid or
+      exact row-mapping on what remains;
+    + on failure, retry with randomized column choices.
+
+    This yields the yield-vs-redundancy curves of the EXT-YIELD
+    experiment. *)
+
+type placement = {
+  row_assignment : int array;  (** FM row -> physical row *)
+  col_assignment : int array;  (** FM column -> physical column *)
+}
+
+val map :
+  ?attempts:int ->
+  prng:Mcx_util.Prng.t ->
+  algorithm:[ `Hybrid | `Exact ] ->
+  Mcx_crossbar.Function_matrix.t ->
+  Mcx_crossbar.Defect_map.t ->
+  placement option
+(** [attempts] (default 8) bounds the randomized column-choice retries; the
+    first attempt is the deterministic greedy choice. @raise
+    Invalid_argument if the defect map is smaller than the FM. *)
+
+val verify :
+  Mcx_crossbar.Function_matrix.t -> Mcx_crossbar.Defect_map.t -> placement -> bool
+(** Full physical validity via {!Mcx_crossbar.Layout.respects}: required
+    switches functional and no stuck-closed junction at any used
+    crossing. *)

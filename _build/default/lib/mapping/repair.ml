@@ -1,0 +1,77 @@
+open Mcx_util
+
+type outcome = { assignment : int array; rows_touched : int }
+
+let repair ~fm ~cm assignment =
+  if Bmatrix.cols fm <> Bmatrix.cols cm then invalid_arg "Repair.repair: column mismatch";
+  let n_fm = Bmatrix.rows fm and n_cm = Bmatrix.rows cm in
+  if Array.length assignment <> n_fm then invalid_arg "Repair.repair: assignment length";
+  Array.iter
+    (fun t -> if t < 0 || t >= n_cm then invalid_arg "Repair.repair: target out of range")
+    assignment;
+  let matches fm_row cm_row = Matching.row_matches ~fm ~fm_row ~cm ~cm_row in
+  let current = Array.copy assignment in
+  let occupied = Array.make n_cm (-1) in
+  Array.iteri (fun fm_row cm_row -> occupied.(cm_row) <- fm_row) current;
+  let broken =
+    List.filter (fun fm_row -> not (matches fm_row current.(fm_row))) (List.init n_fm Fun.id)
+  in
+  if broken = [] then Some { assignment = current; rows_touched = 0 }
+  else begin
+    let touched = ref 0 in
+    let move fm_row target =
+      occupied.(current.(fm_row)) <- -1;
+      (* the mover's old slot frees up *)
+      current.(fm_row) <- target;
+      occupied.(target) <- fm_row;
+      incr touched
+    in
+    let place_on_free fm_row =
+      let rec go t =
+        if t = n_cm then false
+        else if occupied.(t) < 0 && matches fm_row t then begin
+          move fm_row t;
+          true
+        end
+        else go (t + 1)
+      in
+      go 0
+    in
+    (* Pairwise swap with a surviving row: both must be valid afterwards. *)
+    let swap_with_survivor fm_row =
+      let rec go other =
+        if other = n_fm then false
+        else if
+          other <> fm_row
+          && matches fm_row current.(other)
+          && matches other current.(fm_row)
+          && matches other current.(other)
+             (* only steal from rows that are themselves currently valid:
+                broken rows are handled by their own pass *)
+        then begin
+          let mine = current.(fm_row) and theirs = current.(other) in
+          current.(fm_row) <- theirs;
+          current.(other) <- mine;
+          occupied.(theirs) <- fm_row;
+          occupied.(mine) <- other;
+          touched := !touched + 2;
+          true
+        end
+        else go (other + 1)
+      in
+      go 0
+    in
+    let locally_repaired =
+      List.for_all (fun fm_row -> place_on_free fm_row || swap_with_survivor fm_row) broken
+    in
+    if locally_repaired && Matching.check_assignment ~fm ~cm current then
+      Some { assignment = current; rows_touched = !touched }
+    else
+      (* Full re-map as the last resort; every row may move. *)
+      match Exact.map_matrix fm cm with
+      | Some fresh ->
+        let moved = ref 0 in
+        Array.iteri (fun i t -> if t <> assignment.(i) then incr moved) fresh;
+        Some { assignment = fresh; rows_touched = !moved }
+      | None -> None
+  end

@@ -1,0 +1,32 @@
+(** Incremental repair of a placed design after new defects appear.
+
+    Memristive junctions age: a die mapped at test time accumulates new
+    stuck-open faults in the field. Remapping from scratch costs a full
+    hybrid/exact run and reprograms every line; this module instead
+    repairs locally — only the rows invalidated by the fresh defects are
+    re-placed, preferring moves that touch as few lines as possible (the
+    transient/permanent fault-tolerance concern of the paper's own prior
+    work, TCAD'17 [13]). *)
+
+type outcome = {
+  assignment : int array;  (** the repaired FM row -> CM row assignment *)
+  rows_touched : int;
+      (** how many FM rows changed target (0 when the old placement
+          survived the new defects untouched) *)
+}
+
+val repair :
+  fm:Mcx_util.Bmatrix.t ->
+  cm:Mcx_util.Bmatrix.t ->
+  int array ->
+  outcome option
+(** [repair ~fm ~cm assignment] takes the crossbar matrix reflecting the
+    *current* (aged) defect state and a previously valid assignment.
+    Returns a valid assignment, or [None] when even a full exact re-map
+    cannot place the design any more.
+
+    Strategy, in increasing disruption order: keep rows that still match;
+    re-place each broken row on a free matching row; try pairwise swaps
+    with surviving rows; finally fall back to a full {!Exact} re-map of
+    the whole design. @raise Invalid_argument on dimension mismatch or a
+    malformed assignment. *)

@@ -1,0 +1,1 @@
+lib/netlist/export.ml: Array Buffer Hashtbl List Network Option Printf Signal String Tech_map

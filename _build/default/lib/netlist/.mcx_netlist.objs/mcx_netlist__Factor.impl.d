@@ -1,0 +1,1 @@
+lib/netlist/factor.ml: Array Bool Cover Cube Format List Literal Mcx_logic

@@ -1,0 +1,1 @@
+lib/netlist/factor.mli: Format Mcx_logic

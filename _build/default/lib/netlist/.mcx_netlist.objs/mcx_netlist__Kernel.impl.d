@@ -1,0 +1,1 @@
+lib/netlist/kernel.ml: Array Cover Cube Factor List Literal Mcx_logic Option

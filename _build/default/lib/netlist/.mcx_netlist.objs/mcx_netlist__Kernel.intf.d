@@ -1,0 +1,1 @@
+lib/netlist/kernel.mli: Factor Mcx_logic

@@ -1,0 +1,1 @@
+lib/netlist/signal.ml: Bool Format Int Mcx_logic

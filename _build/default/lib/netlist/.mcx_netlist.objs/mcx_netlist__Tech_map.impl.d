@@ -1,0 +1,1 @@
+lib/netlist/tech_map.ml: Array Bool Factor Kernel List Mcx_logic Network Option Signal

@@ -1,0 +1,1 @@
+lib/netlist/tech_map.mli: Mcx_logic Network

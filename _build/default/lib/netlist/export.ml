@@ -1,0 +1,119 @@
+let default_names prefix n = List.init n (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let check_names what names expected =
+  if List.length names <> expected then
+    invalid_arg (Printf.sprintf "Export: %s list has %d names, expected %d" what
+                   (List.length names) expected)
+
+let to_verilog ?(module_name = "mcx_netlist") ?input_names ?output_names
+    (mapped : Tech_map.mapped) =
+  let net = mapped.Tech_map.network in
+  let n_inputs = Network.n_inputs net in
+  let outputs = Network.outputs net in
+  let n_outputs = List.length outputs in
+  let inputs = Option.value input_names ~default:(default_names "x" n_inputs) in
+  let outs = Option.value output_names ~default:(default_names "y" n_outputs) in
+  check_names "input" inputs n_inputs;
+  check_names "output" outs n_outputs;
+  let input_arr = Array.of_list inputs in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "module %s (%s);\n" module_name
+    (String.concat ", " (inputs @ outs));
+  List.iter (fun name -> Printf.bprintf buf "  input %s;\n" name) inputs;
+  List.iter (fun name -> Printf.bprintf buf "  output %s;\n" name) outs;
+  let n_gates = Network.gate_count net in
+  (* complemented input literals used anywhere get a shared inverter wire *)
+  let neg_used = Array.make n_inputs false in
+  let scan_signal = function
+    | Signal.Input_neg i -> neg_used.(i) <- true
+    | Signal.Const _ | Signal.Input _ | Signal.Gate _ -> ()
+  in
+  for id = 0 to n_gates - 1 do
+    List.iter scan_signal (Network.gate_fanins net id)
+  done;
+  List.iter scan_signal outputs;
+  if n_gates > 0 then Printf.bprintf buf "  wire %s;\n"
+      (String.concat ", " (List.init n_gates (Printf.sprintf "g%d")));
+  Array.iteri
+    (fun i used -> if used then Printf.bprintf buf "  wire %s_n;\n" input_arr.(i))
+    neg_used;
+  Array.iteri
+    (fun i used ->
+      if used then Printf.bprintf buf "  not (%s_n, %s);\n" input_arr.(i) input_arr.(i))
+    neg_used;
+  let wire_of = function
+    | Signal.Const true -> "1'b1"
+    | Signal.Const false -> "1'b0"
+    | Signal.Input i -> input_arr.(i)
+    | Signal.Input_neg i -> input_arr.(i) ^ "_n"
+    | Signal.Gate id -> Printf.sprintf "g%d" id
+  in
+  for id = 0 to n_gates - 1 do
+    Printf.bprintf buf "  nand (g%d, %s);\n" id
+      (String.concat ", " (List.map wire_of (Network.gate_fanins net id)))
+  done;
+  List.iteri
+    (fun k signal ->
+      let name = List.nth outs k in
+      let negated = mapped.Tech_map.negated.(k) in
+      match signal with
+      | Signal.Gate _ when negated ->
+        Printf.bprintf buf "  not (%s, %s);\n" name (wire_of signal)
+      | _ ->
+        let expr = wire_of signal in
+        let expr =
+          if negated then
+            match signal with
+            | Signal.Const b -> if b then "1'b0" else "1'b1"
+            | Signal.Input i -> input_arr.(i) ^ "_n"
+            | Signal.Input_neg i -> input_arr.(i)
+            | Signal.Gate _ -> assert false
+          else expr
+        in
+        Printf.bprintf buf "  assign %s = %s;\n" name expr)
+    outputs;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let to_dot ?(graph_name = "mcx_netlist") (mapped : Tech_map.mapped) =
+  let net = mapped.Tech_map.network in
+  let n_gates = Network.gate_count net in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "digraph %s {\n  rankdir=LR;\n" graph_name;
+  let used_inputs = Hashtbl.create 16 in
+  let note_input = function
+    | Signal.Input i | Signal.Input_neg i -> Hashtbl.replace used_inputs i ()
+    | Signal.Const _ | Signal.Gate _ -> ()
+  in
+  for id = 0 to n_gates - 1 do
+    List.iter note_input (Network.gate_fanins net id)
+  done;
+  List.iter note_input (Network.outputs net);
+  Hashtbl.iter
+    (fun i () -> Printf.bprintf buf "  x%d [shape=box];\n" i)
+    used_inputs;
+  for id = 0 to n_gates - 1 do
+    Printf.bprintf buf "  g%d [shape=ellipse,label=\"NAND g%d\"];\n" id id
+  done;
+  let edge ppf_target = function
+    | Signal.Input i -> Printf.bprintf buf "  x%d -> %s;\n" i ppf_target
+    | Signal.Input_neg i -> Printf.bprintf buf "  x%d -> %s [style=dashed];\n" i ppf_target
+    | Signal.Gate g -> Printf.bprintf buf "  g%d -> %s;\n" g ppf_target
+    | Signal.Const b ->
+      Printf.bprintf buf "  const%b -> %s [style=dotted];\n" b ppf_target
+  in
+  for id = 0 to n_gates - 1 do
+    List.iter (edge (Printf.sprintf "g%d" id)) (Network.gate_fanins net id)
+  done;
+  List.iteri
+    (fun k signal ->
+      let extra =
+        if mapped.Tech_map.negated.(k) then
+          Printf.sprintf ",color=red,label=\"y%d (inverted)\"" k
+        else ""
+      in
+      Printf.bprintf buf "  y%d [shape=doubleoctagon%s];\n" k extra;
+      edge (Printf.sprintf "y%d" k) signal)
+    (Network.outputs net);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Netlist export: structural Verilog and Graphviz DOT.
+
+    The multi-level designs this library produces are plain NAND networks;
+    exporting them in standard interchange formats lets downstream EDA
+    tools (simulators, equivalence checkers, schematic viewers) consume
+    the mapped results directly. *)
+
+val to_verilog :
+  ?module_name:string ->
+  ?input_names:string list ->
+  ?output_names:string list ->
+  Tech_map.mapped ->
+  string
+(** Structural Verilog-2001: one [nand] primitive per gate, [not] gates
+    for recorded output polarities, continuous assigns for constant or
+    pass-through outputs. Default port names are [x0..] and [y0..].
+    @raise Invalid_argument when explicit name lists have the wrong
+    length. *)
+
+val to_dot : ?graph_name:string -> Tech_map.mapped -> string
+(** Graphviz digraph: inputs as boxes, gates as ellipses, outputs as
+    double octagons; complemented edges are drawn dashed. *)

@@ -1,0 +1,112 @@
+open Mcx_logic
+
+type expr =
+  | Const of bool
+  | Lit of int * bool
+  | And of expr list
+  | Or of expr list
+
+(* Flatten nested Ands/Ors and drop degenerate single-child nodes so the
+   expression trees stay canonical enough for gate counting. *)
+let mk_and children =
+  let flat =
+    List.concat_map (function And inner -> inner | other -> [ other ]) children
+  in
+  let flat = List.filter (fun e -> e <> Const true) flat in
+  if List.exists (fun e -> e = Const false) flat then Const false
+  else match flat with [] -> Const true | [ only ] -> only | _ -> And flat
+
+let mk_or children =
+  let flat =
+    List.concat_map (function Or inner -> inner | other -> [ other ]) children
+  in
+  let flat = List.filter (fun e -> e <> Const false) flat in
+  if List.exists (fun e -> e = Const true) flat then Const true
+  else match flat with [] -> Const false | [ only ] -> only | _ -> Or flat
+
+let expr_of_cube c =
+  mk_and
+    (List.map
+       (fun (var, lit) -> Lit (var, Literal.equal lit Literal.Pos))
+       (Cube.literals c))
+
+let of_cover_flat f = mk_or (List.map expr_of_cube (Cover.cubes f))
+
+(* The most frequent literal over a cube list, as (var, literal, count). *)
+let best_literal ~arity cubes =
+  let pos = Array.make arity 0 and neg = Array.make arity 0 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (var, lit) ->
+          match lit with
+          | Literal.Pos -> pos.(var) <- pos.(var) + 1
+          | Literal.Neg -> neg.(var) <- neg.(var) + 1
+          | Literal.Absent -> ())
+        (Cube.literals c))
+    cubes;
+  let best = ref None in
+  for var = 0 to arity - 1 do
+    let consider lit count =
+      match !best with
+      | Some (_, _, best_count) when count <= best_count -> ()
+      | Some _ | None -> if count >= 2 then best := Some (var, lit, count)
+    in
+    consider Literal.Pos pos.(var);
+    consider Literal.Neg neg.(var)
+  done;
+  !best
+
+let rec factor_cubes ~arity cubes =
+  if cubes = [] then Const false
+  else if List.exists (fun c -> Cube.num_literals c = 0) cubes then Const true
+  else
+    match cubes with
+    | [ single ] -> expr_of_cube single
+    | _ -> (
+      match best_literal ~arity cubes with
+      | None -> mk_or (List.map expr_of_cube cubes)
+      | Some (var, lit, _) ->
+        let quotient, remainder =
+          List.partition (fun c -> Literal.equal (Cube.get c var) lit) cubes
+        in
+        let quotient = List.map (fun c -> Cube.set c var Literal.Absent) quotient in
+        let divisor = Lit (var, Literal.equal lit Literal.Pos) in
+        let factored_quotient = factor_cubes ~arity quotient in
+        let factored_remainder = factor_cubes ~arity remainder in
+        mk_or [ mk_and [ divisor; factored_quotient ]; factored_remainder ])
+
+let factor f = factor_cubes ~arity:(Cover.arity f) (Cover.cubes f)
+
+let rec eval e v =
+  match e with
+  | Const b -> b
+  | Lit (var, positive) ->
+    if var < 0 || var >= Array.length v then invalid_arg "Factor.eval: variable out of range";
+    if positive then v.(var) else not v.(var)
+  | And children -> List.for_all (fun c -> eval c v) children
+  | Or children -> List.exists (fun c -> eval c v) children
+
+let rec literal_count = function
+  | Const _ -> 0
+  | Lit _ -> 1
+  | And children | Or children ->
+    List.fold_left (fun acc c -> acc + literal_count c) 0 children
+
+let rec depth = function
+  | Const _ | Lit _ -> 0
+  | And children | Or children ->
+    1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+let rec pp ppf = function
+  | Const b -> Format.fprintf ppf "%d" (Bool.to_int b)
+  | Lit (v, true) -> Format.fprintf ppf "x%d" v
+  | Lit (v, false) -> Format.fprintf ppf "x%d'" v
+  | And children ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") pp)
+      children
+  | Or children ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ") pp)
+      children

@@ -1,0 +1,40 @@
+(** Algebraic factoring of SOP covers.
+
+    Turns a flat cover into a factored AND/OR expression by recursively
+    dividing out the most frequent literal (quick-factor style). Factoring
+    is what lets the multi-level mapping beat the two-level one: shared
+    sub-expressions become shared NAND gates, shrinking the gate count G and
+    connection count C that drive the multi-level area model. *)
+
+type expr =
+  | Const of bool
+  | Lit of int * bool  (** variable index, polarity ([true] = positive) *)
+  | And of expr list
+  | Or of expr list
+
+val factor : Mcx_logic.Cover.t -> expr
+(** Factored expression equal to the cover as a Boolean function
+    (property-tested via {!eval}). *)
+
+val mk_and : expr list -> expr
+val mk_or : expr list -> expr
+(** Smart constructors: flatten nested nodes, fold constants, drop
+    degenerate single-child nodes. Exposed for {!Kernel}. *)
+
+val expr_of_cube : Mcx_logic.Cube.t -> expr
+(** The conjunction of a cube's literals. *)
+
+val of_cover_flat : Mcx_logic.Cover.t -> expr
+(** The un-factored two-level expression: Or of per-cube Ands. *)
+
+val eval : expr -> bool array -> bool
+(** Reference semantics. @raise Invalid_argument if a variable index is out
+    of the assignment's range. *)
+
+val literal_count : expr -> int
+(** Number of [Lit] leaves — the factored-form literal cost. *)
+
+val depth : expr -> int
+(** Nesting depth of And/Or operators (leaves are 0). *)
+
+val pp : Format.formatter -> expr -> unit

@@ -1,0 +1,180 @@
+open Mcx_logic
+
+(* --- algebraic cube division ------------------------------------- *)
+
+(* t / by: remove the divisor's literals; defined only when every literal
+   of [by] occurs in [t] (i.e. [by] covers [t] as a region). *)
+let cube_quotient t ~by =
+  if Cube.covers by t then begin
+    let out =
+      Array.init (Cube.arity t) (fun i ->
+          match Cube.get by i with
+          | Literal.Absent -> Cube.get t i
+          | Literal.Pos | Literal.Neg -> Literal.Absent)
+    in
+    Some (Cube.of_literals out)
+  end
+  else None
+
+let cube_divide cubes ~by = List.filter_map (fun t -> cube_quotient t ~by) cubes
+
+let cube_list_mem c l = List.exists (Cube.equal c) l
+
+let divide cubes ~by =
+  match by with
+  | [] -> invalid_arg "Kernel.divide: empty divisor"
+  | first :: rest ->
+    let quotient =
+      List.fold_left
+        (fun acc d -> List.filter (fun q -> cube_list_mem q (cube_divide cubes ~by:d)) acc)
+        (cube_divide cubes ~by:first)
+        rest
+    in
+    (* remainder = f minus divisor * quotient *)
+    let products =
+      List.concat_map
+        (fun q ->
+          List.filter_map
+            (fun d ->
+              match Cube.intersect q d with
+              | Some p when Cube.num_literals p = Cube.num_literals q + Cube.num_literals d ->
+                Some p
+              | Some _ | None -> None (* shared/conflicting literal: not algebraic *))
+            by)
+        quotient
+    in
+    let remainder = List.filter (fun t -> not (cube_list_mem t products)) cubes in
+    (quotient, remainder)
+
+let common_cube = function
+  | [] -> Cube.universe 0
+  | first :: rest ->
+    List.fold_left
+      (fun acc c ->
+        Cube.of_literals
+          (Array.init (Cube.arity acc) (fun i ->
+               if Literal.equal (Cube.get acc i) (Cube.get c i) then Cube.get acc i
+               else Literal.Absent)))
+      first rest
+
+let is_cube_free cubes =
+  match cubes with
+  | [] | [ _ ] -> false
+  | _ -> Cube.num_literals (common_cube cubes) = 0
+
+let make_cube_free cubes =
+  match cubes with
+  | [] -> cubes
+  | _ ->
+    let c = common_cube cubes in
+    if Cube.num_literals c = 0 then cubes else cube_divide cubes ~by:c
+
+(* --- kernel enumeration ------------------------------------------ *)
+
+(* Literal index space: 2*var + polarity, ordered; the classical pruning
+   skips a division whose quotient's common cube contains an
+   already-processed literal. *)
+let literal_of_index arity idx =
+  let var = idx / 2 and pos = idx mod 2 = 0 in
+  ignore arity;
+  (var, if pos then Literal.Pos else Literal.Neg)
+
+let occurrences cubes (var, lit) =
+  List.length (List.filter (fun c -> Literal.equal (Cube.get c var) lit) cubes)
+
+let kernels ?(budget = 400) ~arity cubes =
+  let acc = ref [] in
+  let count = ref 0 in
+  let add cokernel kernel =
+    if !count < budget then begin
+      incr count;
+      acc := (cokernel, kernel) :: !acc
+    end
+  in
+  let rec explore from_idx cokernel cubes =
+    if !count >= budget then ()
+    else begin
+      if is_cube_free cubes then add cokernel cubes;
+      for idx = from_idx to (2 * arity) - 1 do
+        if !count < budget then begin
+          let var, lit = literal_of_index arity idx in
+          if occurrences cubes (var, lit) >= 2 then begin
+            let divisor = Cube.set (Cube.universe arity) var lit in
+            let quotient = cube_divide cubes ~by:divisor in
+            let cc = common_cube quotient in
+            (* prune duplicates: any smaller-index literal in the common
+               cube means this kernel was already enumerated. *)
+            let duplicate = ref false in
+            for j = 0 to (2 * arity) - 1 do
+              let v, l = literal_of_index arity j in
+              if j < idx && Literal.equal (Cube.get cc v) l then duplicate := true
+            done;
+            if not !duplicate then begin
+              let free = make_cube_free quotient in
+              let extended_cokernel =
+                match Cube.intersect cokernel (Option.get (Cube.intersect divisor cc)) with
+                | Some c -> c
+                | None -> cokernel (* conflicting literals cannot occur *)
+              in
+              explore (idx + 1) extended_cokernel free
+            end
+          end
+        end
+      done
+    end
+  in
+  explore 0 (Cube.universe arity) cubes;
+  !acc
+
+(* --- good factor --------------------------------------------------- *)
+
+let expr_of_cube = Factor.expr_of_cube
+
+let rec factor_cubes ~arity cubes =
+  match cubes with
+  | [] -> Factor.Const false
+  | _ when List.exists (fun c -> Cube.num_literals c = 0) cubes -> Factor.Const true
+  | [ single ] -> expr_of_cube single
+  | _ ->
+    let cc = common_cube cubes in
+    if Cube.num_literals cc > 0 then
+      (* pull the common cube out first *)
+      Factor.mk_and [ expr_of_cube cc; factor_cubes ~arity (cube_divide cubes ~by:cc) ]
+    else begin
+      let candidates =
+        List.filter
+          (fun (_, kernel) -> List.length kernel >= 2 && List.length kernel < List.length cubes)
+          (kernels ~arity cubes)
+      in
+      let value kernel =
+        (* literal saving estimate: a divisor used |Q| times saves roughly
+           (|Q|-1) * lits(kernel). *)
+        let quotient, _ = divide cubes ~by:kernel in
+        let kernel_lits = List.fold_left (fun a c -> a + Cube.num_literals c) 0 kernel in
+        (List.length quotient - 1) * kernel_lits
+      in
+      let best =
+        List.fold_left
+          (fun best kernel ->
+            let v = value kernel in
+            match best with
+            | Some (_, best_v) when best_v >= v -> best
+            | Some _ | None -> if v > 0 then Some (kernel, v) else best)
+          None
+          (List.map snd candidates)
+      in
+      match best with
+      | None -> Factor.factor (Cover.create ~arity cubes)
+      | Some (divisor, _) ->
+        let quotient, remainder = divide cubes ~by:divisor in
+        if quotient = [] then Factor.factor (Cover.create ~arity cubes)
+        else
+          Factor.mk_or
+            [
+              Factor.mk_and
+                [ factor_cubes ~arity quotient; factor_cubes ~arity divisor ];
+              factor_cubes ~arity remainder;
+            ]
+    end
+
+let factor f = factor_cubes ~arity:(Cover.arity f) (Cover.cubes f)

@@ -1,0 +1,40 @@
+(** Kernel-based algebraic factoring (Brayton–McMullen).
+
+    {!Factor.factor} divides by one literal at a time (quick-factor). This
+    module implements the stronger classical pipeline — algebraic cube
+    division, kernel/co-kernel enumeration, and good-factor recursion that
+    divides by the most valuable kernel — which finds multi-literal
+    divisors shared across products. The tech mapper exposes both
+    strategies so the Fig. 6 ablation can quantify what kernel extraction
+    buys. All operations are algebraic: cubes are treated as monomials,
+    never as Boolean regions. *)
+
+val cube_divide : Mcx_logic.Cube.t list -> by:Mcx_logic.Cube.t -> Mcx_logic.Cube.t list
+(** Algebraic quotient by a single cube: [{ t / by | by ⊆ t }] with the
+    divisor's literals removed. @raise Invalid_argument on arity mixing. *)
+
+val divide :
+  Mcx_logic.Cube.t list ->
+  by:Mcx_logic.Cube.t list ->
+  Mcx_logic.Cube.t list * Mcx_logic.Cube.t list
+(** Weak division by a multi-cube divisor: [(quotient, remainder)] with
+    [f = by * quotient + remainder] algebraically. @raise Invalid_argument
+    on an empty divisor. *)
+
+val common_cube : Mcx_logic.Cube.t list -> Mcx_logic.Cube.t
+(** Largest cube dividing every cube of the list (the universe cube when
+    the list is empty or has no shared literal). *)
+
+val is_cube_free : Mcx_logic.Cube.t list -> bool
+
+val kernels :
+  ?budget:int -> arity:int -> Mcx_logic.Cube.t list -> (Mcx_logic.Cube.t * Mcx_logic.Cube.t list) list
+(** All (co-kernel, kernel) pairs, the expression itself included when it
+    is cube-free; enumeration stops after [budget] kernels (default 400) to
+    stay polynomial on pathological covers. *)
+
+val factor : Mcx_logic.Cover.t -> Factor.expr
+(** Good-factor recursion: divide by the best kernel (by estimated literal
+    saving), recurse on divisor, quotient and remainder; fall back to
+    {!Factor.factor} when no multi-cube kernel exists. Semantics are
+    preserved (property-tested). *)

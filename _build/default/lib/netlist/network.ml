@@ -1,0 +1,217 @@
+type t = {
+  n_inputs : int;
+  fanin_limit : int;
+  mutable gates : Signal.t list array;  (* gate id -> sorted fan-ins *)
+  mutable n_gates : int;
+  memo : (Signal.t list, int) Hashtbl.t;  (* structural hashing *)
+  inverter_memo : (int, Signal.t) Hashtbl.t;  (* gate id -> its inverter *)
+  mutable outputs : Signal.t list option;
+}
+
+let create ~n_inputs ~fanin_limit =
+  if n_inputs < 0 then invalid_arg "Network.create: negative n_inputs";
+  if fanin_limit < 2 then invalid_arg "Network.create: fanin_limit < 2";
+  {
+    n_inputs;
+    fanin_limit;
+    gates = Array.make 16 [];
+    n_gates = 0;
+    memo = Hashtbl.create 64;
+    inverter_memo = Hashtbl.create 16;
+    outputs = None;
+  }
+
+let n_inputs t = t.n_inputs
+let fanin_limit t = t.fanin_limit
+let gate_count t = t.n_gates
+
+let gate_fanins t id =
+  if id < 0 || id >= t.n_gates then invalid_arg "Network.gate_fanins: unknown gate";
+  t.gates.(id)
+
+let validate_signal t s =
+  match s with
+  | Signal.Const _ -> ()
+  | Signal.Input i | Signal.Input_neg i ->
+    if i < 0 || i >= t.n_inputs then invalid_arg "Network: input variable out of range"
+  | Signal.Gate id ->
+    if id < 0 || id >= t.n_gates then invalid_arg "Network: unknown gate signal"
+
+let alloc_gate t fanins =
+  if t.n_gates = Array.length t.gates then begin
+    let grown = Array.make (max 16 (2 * t.n_gates)) [] in
+    Array.blit t.gates 0 grown 0 t.n_gates;
+    t.gates <- grown
+  end;
+  let id = t.n_gates in
+  t.gates.(id) <- fanins;
+  t.n_gates <- id + 1;
+  Hashtbl.replace t.memo fanins id;
+  Signal.Gate id
+
+(* Raw gate creation on a cleaned fan-in list (sorted, unique, no constants,
+   no complementary input pair, length within the limit). *)
+let gate t fanins =
+  match Hashtbl.find_opt t.memo fanins with
+  | Some id -> Signal.Gate id
+  | None -> alloc_gate t fanins
+
+let rec nand t signals =
+  if signals = [] then invalid_arg "Network.nand: empty fan-in";
+  List.iter (validate_signal t) signals;
+  let sorted = List.sort_uniq Signal.compare signals in
+  (* Constant and contradiction simplification: NAND(.., 0, ..) = 1;
+     NAND(.., x, x', ..) = 1; true inputs drop out. *)
+  if List.exists (Signal.equal (Signal.Const false)) sorted then Signal.Const true
+  else begin
+    let sorted = List.filter (fun s -> not (Signal.equal s (Signal.Const true))) sorted in
+    let contradictory =
+      List.exists
+        (fun s ->
+          match Signal.negate_cheaply s with
+          | Some s' -> List.exists (Signal.equal s') sorted
+          | None -> false)
+        sorted
+    in
+    if contradictory then Signal.Const true
+    else
+      match sorted with
+      | [] -> Signal.Const false (* NAND of nothing but true = NOT true *)
+      | [ single ] when Signal.negate_cheaply single <> None ->
+        Option.get (Signal.negate_cheaply single)
+      | _ when List.length sorted <= t.fanin_limit -> gate t sorted
+      | _ ->
+        (* Decompose: AND the first chunk into one signal, recurse. *)
+        let rec split k acc = function
+          | rest when k = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | x :: rest -> split (k - 1) (x :: acc) rest
+        in
+        let chunk, rest = split t.fanin_limit [] sorted in
+        let chunk_and = and_ t chunk in
+        nand t (chunk_and :: rest)
+  end
+
+and inv t s =
+  validate_signal t s;
+  match Signal.negate_cheaply s with
+  | Some s' -> s'
+  | None -> (
+    match s with
+    | Signal.Gate id -> (
+      match Hashtbl.find_opt t.inverter_memo id with
+      | Some cached -> cached
+      | None ->
+        let inverter = nand t [ s ] in
+        Hashtbl.replace t.inverter_memo id inverter;
+        inverter)
+    | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> assert false)
+
+and and_ t signals = inv t (nand t signals)
+
+let or_ t signals =
+  if signals = [] then invalid_arg "Network.or_: empty fan-in";
+  nand t (List.map (inv t) signals)
+
+let set_outputs t outs =
+  List.iter (validate_signal t) outs;
+  t.outputs <- Some outs
+
+let outputs t =
+  match t.outputs with
+  | Some outs -> outs
+  | None -> invalid_arg "Network.outputs: outputs not set"
+
+let feeds_a_gate t =
+  let feeders = Array.make t.n_gates false in
+  for id = 0 to t.n_gates - 1 do
+    List.iter
+      (function Signal.Gate g -> feeders.(g) <- true | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> ())
+      t.gates.(id)
+  done;
+  feeders
+
+let inner_connection_count t =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 (feeds_a_gate t)
+
+let total_fanin t =
+  let acc = ref 0 in
+  for id = 0 to t.n_gates - 1 do
+    acc := !acc + List.length t.gates.(id)
+  done;
+  !acc
+
+let levels t =
+  let level = Array.make (max 1 t.n_gates) 0 in
+  let signal_level = function
+    | Signal.Gate g -> level.(g)
+    | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> 0
+  in
+  for id = 0 to t.n_gates - 1 do
+    level.(id) <- 1 + List.fold_left (fun m s -> max m (signal_level s)) 0 t.gates.(id)
+  done;
+  List.fold_left (fun m s -> max m (signal_level s)) 0 (outputs t)
+
+let eval t inputs =
+  if Array.length inputs <> t.n_inputs then invalid_arg "Network.eval: arity mismatch";
+  let values = Array.make (max 1 t.n_gates) false in
+  let signal_value = function
+    | Signal.Const b -> b
+    | Signal.Input i -> inputs.(i)
+    | Signal.Input_neg i -> not inputs.(i)
+    | Signal.Gate g -> values.(g)
+  in
+  for id = 0 to t.n_gates - 1 do
+    values.(id) <- not (List.for_all signal_value t.gates.(id))
+  done;
+  Array.of_list (List.map signal_value (outputs t))
+
+let prune t =
+  let outs = outputs t in
+  let live = Array.make (max 1 t.n_gates) false in
+  let rec mark = function
+    | Signal.Gate g ->
+      if not live.(g) then begin
+        live.(g) <- true;
+        List.iter mark t.gates.(g)
+      end
+    | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> ()
+  in
+  List.iter mark outs;
+  let fresh = create ~n_inputs:t.n_inputs ~fanin_limit:t.fanin_limit in
+  let rename = Array.make (max 1 t.n_gates) (-1) in
+  let rename_signal = function
+    | Signal.Gate g ->
+      assert (rename.(g) >= 0);
+      Signal.Gate rename.(g)
+    | (Signal.Const _ | Signal.Input _ | Signal.Input_neg _) as s -> s
+  in
+  for id = 0 to t.n_gates - 1 do
+    if live.(id) then begin
+      let fanins = List.map rename_signal t.gates.(id) in
+      match alloc_gate fresh fanins with
+      | Signal.Gate fresh_id -> rename.(id) <- fresh_id
+      | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> assert false
+    end
+  done;
+  set_outputs fresh (List.map rename_signal outs);
+  fresh
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>inputs: %d, fan-in limit: %d@," t.n_inputs t.fanin_limit;
+  for id = 0 to t.n_gates - 1 do
+    Format.fprintf ppf "g%d = NAND(%a)@," id
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Signal.pp)
+      t.gates.(id)
+  done;
+  (match t.outputs with
+  | Some outs ->
+    Format.fprintf ppf "outputs: %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Signal.pp)
+      outs
+  | None -> Format.fprintf ppf "outputs: <unset>");
+  Format.fprintf ppf "@]"

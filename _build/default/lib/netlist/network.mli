@@ -1,0 +1,71 @@
+(** NAND-only combinational networks.
+
+    This is the multi-level form the paper's modified crossbar executes: one
+    horizontal line per NAND gate, evaluated level by level, with each inner
+    gate output copied (CR state) into a dedicated connection column. The
+    builder maintains structural hashing so identical gates are shared, and
+    enforces a fan-in bound mirroring the paper's ABC setup ("NAND gates
+    which have fan-in sizes 2 to n"). *)
+
+type t
+(** A network under construction (mutable builder) or finished (read-only
+    use); gates are created in topological order by construction. *)
+
+val create : n_inputs:int -> fanin_limit:int -> t
+(** @raise Invalid_argument if [n_inputs < 0] or [fanin_limit < 2]. *)
+
+val n_inputs : t -> int
+val fanin_limit : t -> int
+
+val nand : t -> Signal.t list -> Signal.t
+(** The NAND of the given signals; single-signal NAND is an inverter.
+    Structurally hashed: equal fan-in sets return the existing gate. Fan-in
+    lists longer than the limit are decomposed into an AND tree feeding a
+    final NAND, preserving semantics. Inverting an input signal is free and
+    does not create a gate. @raise Invalid_argument on an empty list or an
+    unknown signal. *)
+
+val inv : t -> Signal.t -> Signal.t
+(** Logical negation: free polarity swap for inputs, a 1-input NAND for gate
+    outputs (memoized). *)
+
+val and_ : t -> Signal.t list -> Signal.t
+(** Conjunction (an inverted NAND). *)
+
+val or_ : t -> Signal.t list -> Signal.t
+(** Disjunction via De Morgan: [nand] of the negated signals. *)
+
+val set_outputs : t -> Signal.t list -> unit
+(** Declare the network's outputs (order = output index). *)
+
+val outputs : t -> Signal.t list
+
+val gate_count : t -> int
+(** G: the number of NAND gates — horizontal lines in the multi-level
+    crossbar (after {!prune} this counts only live gates). *)
+
+val gate_fanins : t -> int -> Signal.t list
+(** Fan-ins of gate [id]. @raise Invalid_argument for an unknown gate. *)
+
+val inner_connection_count : t -> int
+(** C: the number of distinct gates whose output feeds another gate — each
+    needs one multi-level connection column. *)
+
+val total_fanin : t -> int
+(** Sum of fan-in sizes over all gates: the multi-level NAND-plane switch
+    count. *)
+
+val levels : t -> int
+(** Length of the longest input-to-output gate chain (0 for gate-free
+    networks) — the number nL of sequential evaluation rounds. *)
+
+val eval : t -> bool array -> bool array
+(** Evaluate all outputs on an input assignment. @raise Invalid_argument on
+    arity mismatch or if outputs were never set. *)
+
+val prune : t -> t
+(** Remove gates not reachable from the outputs (dead logic from builder
+    intermediate steps). Signal names are re-numbered. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable listing, one gate per line plus the output list. *)

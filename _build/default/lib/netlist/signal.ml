@@ -1,0 +1,33 @@
+type t = Const of bool | Input of int | Input_neg of int | Gate of int
+
+let equal a b =
+  match (a, b) with
+  | Const x, Const y -> Bool.equal x y
+  | Input i, Input j | Input_neg i, Input_neg j | Gate i, Gate j -> i = j
+  | (Const _ | Input _ | Input_neg _ | Gate _), _ -> false
+
+let rank = function Const _ -> 0 | Input _ -> 1 | Input_neg _ -> 2 | Gate _ -> 3
+let payload = function Const b -> Bool.to_int b | Input i | Input_neg i | Gate i -> i
+
+let compare a b =
+  let c = Int.compare (rank a) (rank b) in
+  if c <> 0 then c else Int.compare (payload a) (payload b)
+
+let hash s = (payload s * 4) + rank s
+
+let negate_cheaply = function
+  | Const b -> Some (Const (not b))
+  | Input i -> Some (Input_neg i)
+  | Input_neg i -> Some (Input i)
+  | Gate _ -> None
+
+let of_literal ~var = function
+  | Mcx_logic.Literal.Pos -> Input var
+  | Mcx_logic.Literal.Neg -> Input_neg var
+  | Mcx_logic.Literal.Absent -> invalid_arg "Signal.of_literal: Absent"
+
+let pp ppf = function
+  | Const b -> Format.fprintf ppf "%d" (Bool.to_int b)
+  | Input i -> Format.fprintf ppf "x%d" i
+  | Input_neg i -> Format.fprintf ppf "x%d'" i
+  | Gate i -> Format.fprintf ppf "g%d" i

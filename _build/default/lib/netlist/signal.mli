@@ -1,0 +1,26 @@
+(** Signals of a NAND network.
+
+    Inputs are available in both polarities for free: the crossbar's input
+    latch provides every variable and its complement as vertical lines, so
+    only gate outputs ever need explicit inverter gates. Constants appear
+    when simplification collapses a gate (e.g. a NAND fed both x and x'). *)
+
+type t =
+  | Const of bool
+  | Input of int  (** positive literal of input variable [i] *)
+  | Input_neg of int  (** complemented literal of input variable [i] *)
+  | Gate of int  (** output of gate [id] *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val negate_cheaply : t -> t option
+(** Polarity flip that costs no gate: constants and input literals.
+    [None] for gate outputs (those need an inverter gate). *)
+
+val of_literal : var:int -> Mcx_logic.Literal.t -> t
+(** The signal carrying the value of a cube literal. @raise Invalid_argument
+    on [Absent]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/bmatrix.ml: Array Bytes Fmt Format List Printf

@@ -1,0 +1,87 @@
+type t = { rows : int; cols : int; data : Bytes.t }
+
+let create ~rows ~cols fill =
+  if rows < 0 || cols < 0 then invalid_arg "Bmatrix.create: negative dimension";
+  { rows; cols; data = Bytes.make (rows * cols) (if fill then '\001' else '\000') }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let check t i j name =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg (Printf.sprintf "Bmatrix.%s: (%d,%d) out of %dx%d" name i j t.rows t.cols)
+
+let get t i j =
+  check t i j "get";
+  Bytes.unsafe_get t.data ((i * t.cols) + j) <> '\000'
+
+let set t i j v =
+  check t i j "set";
+  Bytes.unsafe_set t.data ((i * t.cols) + j) (if v then '\001' else '\000')
+
+let copy t = { t with data = Bytes.copy t.data }
+
+let of_lists = function
+  | [] -> invalid_arg "Bmatrix.of_lists: empty"
+  | first :: _ as rows_list ->
+    let cols = List.length first in
+    let rows = List.length rows_list in
+    if cols = 0 then invalid_arg "Bmatrix.of_lists: empty row";
+    let t = create ~rows ~cols false in
+    List.iteri
+      (fun i row ->
+        if List.length row <> cols then invalid_arg "Bmatrix.of_lists: ragged rows";
+        List.iteri (fun j v -> set t i j v) row)
+      rows_list;
+    t
+
+let of_int_lists l = of_lists (List.map (List.map (fun x -> x <> 0)) l)
+
+let row t i =
+  if i < 0 || i >= t.rows then invalid_arg "Bmatrix.row";
+  Array.init t.cols (fun j -> get t i j)
+
+let count t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) t.data;
+  !n
+
+let count_row t i =
+  if i < 0 || i >= t.rows then invalid_arg "Bmatrix.count_row";
+  let n = ref 0 in
+  for j = 0 to t.cols - 1 do
+    if get t i j then incr n
+  done;
+  !n
+
+let count_col t j =
+  if j < 0 || j >= t.cols then invalid_arg "Bmatrix.count_col";
+  let n = ref 0 in
+  for i = 0 to t.rows - 1 do
+    if get t i j then incr n
+  done;
+  !n
+
+let equal a b = a.rows = b.rows && a.cols = b.cols && Bytes.equal a.data b.data
+
+let fold f t init =
+  let acc = ref init in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      acc := f i j (get t i j) !acc
+    done
+  done;
+  !acc
+
+let map_rows t ~f = List.init t.rows (fun i -> f i (row t i))
+
+let pp ?(one = "1") ?(zero = "0") ppf t =
+  for i = 0 to t.rows - 1 do
+    if i > 0 then Format.pp_print_newline ppf ();
+    for j = 0 to t.cols - 1 do
+      if j > 0 then Format.pp_print_string ppf " ";
+      Format.pp_print_string ppf (if get t i j then one else zero)
+    done
+  done
+
+let to_string t = Fmt.str "%a" (pp ?one:None ?zero:None) t

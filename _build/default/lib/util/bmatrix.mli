@@ -1,0 +1,58 @@
+(** Dense boolean matrices.
+
+    The mapping algorithms of the paper operate on three boolean matrices: the
+    function matrix (FM), the crossbar matrix (CM) and the matching matrix.
+    This module provides the shared dense representation, backed by [Bytes]
+    so that Monte Carlo runs with hundreds of thousands of samples do not
+    allocate per-element boxes. *)
+
+type t
+(** A mutable [rows] x [cols] boolean matrix. *)
+
+val create : rows:int -> cols:int -> bool -> t
+(** [create ~rows ~cols fill] is a matrix with every entry set to [fill].
+    @raise Invalid_argument if a dimension is negative. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> bool
+(** [get m i j] reads entry (i, j). @raise Invalid_argument out of bounds. *)
+
+val set : t -> int -> int -> bool -> unit
+(** [set m i j v] writes entry (i, j). @raise Invalid_argument out of bounds. *)
+
+val copy : t -> t
+
+val of_lists : bool list list -> t
+(** Build from row-major lists. @raise Invalid_argument on ragged input or
+    empty matrix. *)
+
+val of_int_lists : int list list -> t
+(** Convenience for writing test fixtures: nonzero is [true]. *)
+
+val row : t -> int -> bool array
+(** Extract row [i] as a fresh array. *)
+
+val count : t -> int
+(** Number of [true] entries. *)
+
+val count_row : t -> int -> int
+(** Number of [true] entries in row [i]. *)
+
+val count_col : t -> int -> int
+(** Number of [true] entries in column [j]. *)
+
+val equal : t -> t -> bool
+
+val fold : (int -> int -> bool -> 'a -> 'a) -> t -> 'a -> 'a
+(** Row-major fold over all entries. *)
+
+val map_rows : t -> f:(int -> bool array -> 'a) -> 'a list
+(** [map_rows m ~f] applies [f] to every row index and its contents. *)
+
+val pp : ?one:string -> ?zero:string -> Format.formatter -> t -> unit
+(** Print as a grid of 0/1 (or custom glyphs), one row per line. *)
+
+val to_string : t -> string
+(** [Fmt.str "%a" pp]. *)

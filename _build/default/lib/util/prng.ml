@@ -1,0 +1,93 @@
+(* xoshiro256++ with splitmix64 seeding; reference: Blackman & Vigna,
+   "Scrambled linear pseudorandom number generators", 2019. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Seed a fresh generator from the parent's stream; xoshiro streams seeded
+     through splitmix64 from distinct 64-bit values do not overlap in
+     practice for our sample counts. *)
+  let state = ref (bits64 t) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem raw bound64 in
+    if Int64.sub raw v > Int64.sub (Int64.sub Int64.max_int bound64) 1L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let float t =
+  let raw = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float raw *. 0x1.0p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let bernoulli t p = float t < p
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t ~k ~n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  (* Floyd's algorithm gives O(k) expected draws. *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem chosen r then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen r ()
+  done;
+  Hashtbl.fold (fun i () acc -> i :: acc) chosen [] |> List.sort compare

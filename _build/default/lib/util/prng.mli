@@ -1,0 +1,54 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    All Monte Carlo experiments in this repository must be reproducible from a
+    single integer seed, independently of the OCaml stdlib [Random] state.
+    The generator is xoshiro256++ seeded through splitmix64, following the
+    reference C implementations by Blackman and Vigna. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. Equal seeds yield
+    equal streams. *)
+
+val split : t -> t
+(** [split t] returns a new generator whose stream is statistically
+    independent of [t]'s future output. [t] is advanced. Used to give each
+    Monte Carlo sample its own stream so that per-sample work is insensitive
+    to evaluation order. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both copies then produce the same
+    stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)], with 53 bits of precision. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [\[lo, hi\]]. @raise Invalid_argument if
+    [hi < lo]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element. @raise Invalid_argument on empty array. *)
+
+val sample_without_replacement : t -> k:int -> n:int -> int list
+(** [sample_without_replacement t ~k ~n] draws [k] distinct indices from
+    [\[0, n)], in increasing order. @raise Invalid_argument if [k > n] or
+    [k < 0]. *)

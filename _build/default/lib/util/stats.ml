@@ -1,0 +1,59 @@
+let require_nonempty name = function
+  | [] -> invalid_arg ("Stats." ^ name ^ ": empty input")
+  | _ -> ()
+
+let mean xs =
+  require_nonempty "mean" xs;
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let variance xs =
+  require_nonempty "variance" xs;
+  match xs with
+  | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sq /. float_of_int (List.length xs - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let ci95 xs =
+  require_nonempty "ci95" xs;
+  let m = mean xs in
+  let n = float_of_int (List.length xs) in
+  let half = 1.96 *. stddev xs /. sqrt n in
+  (m -. half, m +. half)
+
+let percentile xs p =
+  require_nonempty "percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0,100]";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let median xs = percentile xs 50.
+
+let success_rate bs =
+  require_nonempty "success_rate" (List.map (fun _ -> 0.) bs);
+  let hits = List.length (List.filter Fun.id bs) in
+  100. *. float_of_int hits /. float_of_int (List.length bs)
+
+let histogram xs ~bins ~lo ~hi =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
+  if hi <= lo then invalid_arg "Stats.histogram: hi <= lo";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  let bucket x =
+    let b = int_of_float ((x -. lo) /. width) in
+    if b < 0 then 0 else if b >= bins then bins - 1 else b
+  in
+  List.iter (fun x -> counts.(bucket x) <- counts.(bucket x) + 1) xs;
+  counts

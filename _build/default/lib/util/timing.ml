@@ -1,0 +1,13 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let mean_seconds ~repeats f =
+  if repeats <= 0 then invalid_arg "Timing.mean_seconds: repeats <= 0";
+  let total = ref 0. in
+  for _ = 1 to repeats do
+    let _, dt = time f in
+    total := !total +. dt
+  done;
+  !total /. float_of_int repeats

@@ -1,0 +1,9 @@
+(** Wall-clock measurement for the runtime columns of Table II. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] once and returns the result together with the
+    elapsed wall-clock seconds. *)
+
+val mean_seconds : repeats:int -> (unit -> 'a) -> float
+(** [mean_seconds ~repeats f] runs [f] [repeats] times and returns the mean
+    elapsed seconds per run. @raise Invalid_argument if [repeats <= 0]. *)

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Arith Array Cover Float List Mcx_benchmarks Mcx_logic Mcx_util Mo_cover Pla Printf Suite Synthetic

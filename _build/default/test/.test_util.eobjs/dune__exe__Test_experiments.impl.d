@@ -1,0 +1,1 @@
+test/test_experiments.ml: Ablation Aging Alcotest Fig6 Lazy List Mcx_experiments Mldefect Printf Ratesweep String Table1 Table2 Tradeoff Transient Yield

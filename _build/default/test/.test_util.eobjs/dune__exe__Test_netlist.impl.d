@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Bool Cover Cube Export Factor Fun Kernel List Literal Mcx_logic Mcx_netlist Mo_cover Network Printf QCheck2 QCheck_alcotest Signal String Tech_map

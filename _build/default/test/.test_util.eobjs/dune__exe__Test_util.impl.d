@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bmatrix Fun List Mcx_util Prng Stats String Texttable Timing

@@ -1,0 +1,300 @@
+open Mcx_util
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false (Prng.bits64 a = Prng.bits64 b)
+
+let test_prng_copy () =
+  let a = Prng.create 7 in
+  let _ = Prng.bits64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_prng_split_independent () =
+  let a = Prng.create 7 in
+  let child = Prng.split a in
+  Alcotest.(check bool) "child differs from parent" false (Prng.bits64 child = Prng.bits64 a)
+
+let test_prng_int_bounds () =
+  let g = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    Alcotest.(check bool) "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_invalid () =
+  let g = Prng.create 5 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_prng_float_range () =
+  let g = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g in
+    Alcotest.(check bool) "[0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_prng_uniformity () =
+  let g = Prng.create 23 in
+  let counts = Array.make 10 0 in
+  let draws = 100_000 in
+  for _ = 1 to draws do
+    let v = Prng.int g 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = draws / 10 in
+      Alcotest.(check bool) "within 10% of uniform" true
+        (abs (c - expected) < expected / 10))
+    counts
+
+let test_bernoulli_bias () =
+  let g = Prng.create 3 in
+  let hits = ref 0 in
+  let draws = 50_000 in
+  for _ = 1 to draws do
+    if Prng.bernoulli g 0.1 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int draws in
+  Alcotest.(check bool) "about 10%" true (rate > 0.09 && rate < 0.11)
+
+let test_int_in_range () =
+  let g = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in_range g ~lo:(-3) ~hi:4 in
+    Alcotest.(check bool) "in [-3,4]" true (v >= -3 && v <= 4)
+  done;
+  Alcotest.(check int) "degenerate range" 5 (Prng.int_in_range g ~lo:5 ~hi:5)
+
+let test_shuffle_permutation () =
+  let g = Prng.create 13 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle_in_place g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let g = Prng.create 17 in
+  for _ = 1 to 100 do
+    let s = Prng.sample_without_replacement g ~k:5 ~n:20 in
+    Alcotest.(check int) "5 samples" 5 (List.length s);
+    Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+    List.iter (fun i -> Alcotest.(check bool) "in range" true (i >= 0 && i < 20)) s
+  done;
+  let all = Prng.sample_without_replacement g ~k:8 ~n:8 in
+  Alcotest.(check (list int)) "full draw" [ 0; 1; 2; 3; 4; 5; 6; 7 ] all
+
+(* --- Bmatrix --- *)
+
+let test_bmatrix_basic () =
+  let m = Bmatrix.create ~rows:3 ~cols:4 false in
+  Alcotest.(check int) "rows" 3 (Bmatrix.rows m);
+  Alcotest.(check int) "cols" 4 (Bmatrix.cols m);
+  Alcotest.(check bool) "init false" false (Bmatrix.get m 2 3);
+  Bmatrix.set m 2 3 true;
+  Alcotest.(check bool) "set/get" true (Bmatrix.get m 2 3);
+  Alcotest.(check int) "count" 1 (Bmatrix.count m)
+
+let test_bmatrix_bounds () =
+  let m = Bmatrix.create ~rows:2 ~cols:2 false in
+  Alcotest.(check bool) "oob raises" true
+    (try
+       ignore (Bmatrix.get m 2 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bmatrix_of_lists () =
+  let m = Bmatrix.of_int_lists [ [ 1; 0 ]; [ 0; 1 ]; [ 1; 1 ] ] in
+  Alcotest.(check int) "count" 4 (Bmatrix.count m);
+  Alcotest.(check int) "row count" 2 (Bmatrix.count_row m 2);
+  Alcotest.(check int) "col count" 2 (Bmatrix.count_col m 0);
+  Alcotest.(check bool) "ragged rejected" true
+    (try
+       ignore (Bmatrix.of_int_lists [ [ 1 ]; [ 1; 0 ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bmatrix_copy_independent () =
+  let m = Bmatrix.of_int_lists [ [ 1; 0 ] ] in
+  let c = Bmatrix.copy m in
+  Bmatrix.set c 0 1 true;
+  Alcotest.(check bool) "original untouched" false (Bmatrix.get m 0 1);
+  Alcotest.(check bool) "equal detects diff" false (Bmatrix.equal m c)
+
+let test_bmatrix_render () =
+  let m = Bmatrix.of_int_lists [ [ 1; 0 ]; [ 0; 1 ] ] in
+  Alcotest.(check string) "to_string" "1 0\n0 1" (Bmatrix.to_string m)
+
+(* --- Stats --- *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_mean () = Alcotest.check feq "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ])
+
+let test_stats_variance () =
+  Alcotest.check feq "variance" (14. /. 3.) (Stats.variance [ 1.; 2.; 3.; 6. ]);
+  Alcotest.check feq "singleton" 0. (Stats.variance [ 5. ])
+
+let test_stats_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.check feq "median" 3. (Stats.median xs);
+  Alcotest.check feq "p0" 1. (Stats.percentile xs 0.);
+  Alcotest.check feq "p100" 5. (Stats.percentile xs 100.);
+  Alcotest.check feq "p25" 2. (Stats.percentile xs 25.)
+
+let test_stats_success_rate () =
+  Alcotest.check feq "3 of 4" 75. (Stats.success_rate [ true; true; true; false ])
+
+let test_stats_ci95 () =
+  let lo, hi = Stats.ci95 [ 10.; 10.; 10.; 10. ] in
+  Alcotest.check feq "degenerate lo" 10. lo;
+  Alcotest.check feq "degenerate hi" 10. hi
+
+let test_stats_histogram () =
+  let h = Stats.histogram [ 0.1; 0.2; 0.9; -5.; 7. ] ~bins:2 ~lo:0. ~hi:1. in
+  Alcotest.(check (array int)) "clamping" [| 3; 2 |] h
+
+let test_stats_empty () =
+  Alcotest.(check bool) "mean of empty raises" true
+    (try
+       ignore (Stats.mean []);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Texttable --- *)
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t = Texttable.create [ "name"; "value" ] in
+  Texttable.add_row t [ "alpha"; "1" ];
+  Texttable.add_row t [ "b"; "22" ];
+  let rendered = Texttable.render t in
+  Alcotest.(check bool) "contains header" true (contains_substring rendered "name");
+  Alcotest.(check bool) "aligned right" true (contains_substring rendered "|    22 |")
+
+let test_table_csv () =
+  let t = Texttable.create [ "a"; "b" ] in
+  Texttable.add_row t [ "x,y"; "plain" ];
+  Texttable.add_separator t;
+  Texttable.add_row t [ "q\"uote"; "2" ];
+  Alcotest.(check string) "csv quoting" "a,b\n\"x,y\",plain\n\"q\"\"uote\",2\n"
+    (Texttable.to_csv t)
+
+let test_table_arity () =
+  let t = Texttable.create [ "a"; "b" ] in
+  Alcotest.(check bool) "arity mismatch raises" true
+    (try
+       Texttable.add_row t [ "only" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_center_align () =
+  let t = Texttable.create ~aligns:[ Texttable.Center; Texttable.Center ] [ "ab"; "c" ] in
+  Texttable.add_row t [ "x"; "wide" ];
+  let rendered = Texttable.render t in
+  Alcotest.(check bool) "centered cell" true (contains_substring rendered "| x  |");
+  Alcotest.(check bool) "empty header rejected" true
+    (try
+       ignore (Texttable.create []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "aligns length mismatch rejected" true
+    (try
+       ignore (Texttable.create ~aligns:[ Texttable.Left ] [ "a"; "b" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_prng_choose () =
+  let g = Prng.create 5 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "member" true (Array.mem (Prng.choose g a) a)
+  done;
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Prng.choose g [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sample_edges () =
+  let g = Prng.create 5 in
+  Alcotest.(check (list int)) "k=0" [] (Prng.sample_without_replacement g ~k:0 ~n:10);
+  Alcotest.(check bool) "k>n rejected" true
+    (try
+       ignore (Prng.sample_without_replacement g ~k:3 ~n:2);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Timing --- *)
+
+let test_timing () =
+  let v, dt = Timing.time (fun () -> 41 + 1) in
+  Alcotest.(check int) "result" 42 v;
+  Alcotest.(check bool) "nonnegative" true (dt >= 0.);
+  let mean = Timing.mean_seconds ~repeats:3 (fun () -> ()) in
+  Alcotest.(check bool) "mean nonnegative" true (mean >= 0.);
+  Alcotest.(check bool) "repeats <= 0 rejected" true
+    (try
+       ignore (Timing.mean_seconds ~repeats:0 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "mcx_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_prng_int_invalid;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "bernoulli bias" `Quick test_bernoulli_bias;
+          Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+          Alcotest.test_case "choose" `Quick test_prng_choose;
+          Alcotest.test_case "sample edges" `Quick test_sample_edges;
+        ] );
+      ( "bmatrix",
+        [
+          Alcotest.test_case "basic" `Quick test_bmatrix_basic;
+          Alcotest.test_case "bounds" `Quick test_bmatrix_bounds;
+          Alcotest.test_case "of_lists" `Quick test_bmatrix_of_lists;
+          Alcotest.test_case "copy independent" `Quick test_bmatrix_copy_independent;
+          Alcotest.test_case "render" `Quick test_bmatrix_render;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "variance" `Quick test_stats_variance;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "success rate" `Quick test_stats_success_rate;
+          Alcotest.test_case "ci95" `Quick test_stats_ci95;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "empty input" `Quick test_stats_empty;
+        ] );
+      ( "texttable",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "center align & errors" `Quick test_table_center_align;
+        ] );
+      ("timing", [ Alcotest.test_case "time" `Quick test_timing ]);
+    ]
