@@ -7,7 +7,13 @@
      dune exec bench/main.exe -- fig6 table2  # a subset
    Environment:
      MCX_SAMPLES  override the Monte Carlo sample count (default: the
-                  paper's 200 for fig6/table2, 100 for the extensions). *)
+                  paper's 200 for fig6/table2, 100 for the extensions).
+     MCX_JOBS     domain count for the Monte Carlo trial pool (default:
+                  the machine's recommended domain count). Every trial's
+                  PRNG stream is derived from (seed, experiment, trial
+                  index), so the experiment output on stdout and in the
+                  CSVs is byte-identical at any job count; only the
+                  wall-clock report on stderr changes. *)
 
 let samples_default fallback =
   match Sys.getenv_opt "MCX_SAMPLES" with
@@ -15,6 +21,22 @@ let samples_default fallback =
   | None -> fallback
 
 let seed = 2018 (* DATE 2018 *)
+
+let pool = lazy (Mcx.Util.Pool.default ())
+let pool () = Lazy.force pool
+
+(* Wall-clock + per-trial accounting, reported on stderr so stdout stays
+   bit-comparable across MCX_JOBS settings. *)
+let wall = Mcx.Util.Timing.Counter.create ()
+
+let timed name ?trials run =
+  let (), dt = Mcx.Util.Timing.time run in
+  Mcx.Util.Timing.Counter.add wall dt;
+  match trials with
+  | Some n when n > 0 ->
+    Printf.eprintf "[mcx] %-9s wall %7.2fs  %8d trials  %10.1f us/trial\n%!" name dt n
+      (1e6 *. dt /. float_of_int n)
+  | _ -> Printf.eprintf "[mcx] %-9s wall %7.2fs\n%!" name dt
 
 let heading title =
   Printf.printf "\n==============================================================\n";
@@ -72,16 +94,19 @@ let fig6 () =
   heading
     (Printf.sprintf
        "FIG 6 - two-level vs multi-level area, %d random functions per input size" samples);
-  let panels = Mcx.Experiments.Fig6.run ~samples ~seed () in
-  print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Fig6.summary_table panels));
-  List.iter
-    (fun panel ->
-      let path = Printf.sprintf "fig6_inputs%02d.csv" panel.Mcx.Experiments.Fig6.n_inputs in
-      let oc = open_out path in
-      output_string oc (Mcx.Experiments.Fig6.series_csv panel);
-      close_out oc;
-      Printf.printf "series written to %s\n" path)
-    panels
+  timed "fig6" ~trials:(4 * samples) (fun () ->
+      let panels = Mcx.Experiments.Fig6.run ~pool:(pool ()) ~samples ~seed () in
+      print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Fig6.summary_table panels));
+      List.iter
+        (fun panel ->
+          let path =
+            Printf.sprintf "fig6_inputs%02d.csv" panel.Mcx.Experiments.Fig6.n_inputs
+          in
+          let oc = open_out path in
+          output_string oc (Mcx.Experiments.Fig6.series_csv panel);
+          close_out oc;
+          Printf.printf "series written to %s\n" path)
+        panels)
 
 (* ------------------------------------------------------------------ *)
 (* TABLE 1                                                             *)
@@ -146,13 +171,15 @@ let table2 () =
     (Printf.sprintf
        "TABLE II - HBA vs EA success rate & runtime, optimum crossbars, 10%% stuck-open, %d samples"
        samples);
-  let rows = Mcx.Experiments.Table2.run ~samples ~seed () in
-  print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Table2.to_table rows));
-  Printf.printf "(* = implemented with its dual, as the paper's bold entries)\n";
-  let oc = open_out "table2.csv" in
-  output_string oc (Mcx.Experiments.Table2.to_csv rows);
-  close_out oc;
-  Printf.printf "csv written to table2.csv\n"
+  let n_benchmarks = List.length Mcx.Benchmarks.Suite.table2 in
+  timed "table2" ~trials:(samples * n_benchmarks) (fun () ->
+      let rows = Mcx.Experiments.Table2.run ~pool:(pool ()) ~samples ~seed () in
+      print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Table2.to_table rows));
+      Printf.printf "(* = implemented with its dual, as the paper's bold entries)\n";
+      let oc = open_out "table2.csv" in
+      output_string oc (Mcx.Experiments.Table2.to_csv rows);
+      close_out oc;
+      Printf.printf "csv written to table2.csv\n")
 
 (* ------------------------------------------------------------------ *)
 (* Extensions                                                          *)
@@ -164,54 +191,78 @@ let yield () =
   (* Bigger arrays collect stuck-closed defects in proportion to their
      area, so the survivable closed rate shrinks with the circuit: bw's
      3300-junction optimum array is hopeless at 1% closed. *)
-  List.iter
-    (fun (benchmark, open_rate, closed_rate, spare_levels) ->
-      let sweep =
-        Mcx.Experiments.Yield.run ~samples ~seed ~benchmark ~open_rate ~closed_rate
-          ~spare_levels ()
-      in
-      Printf.printf "\n%s (open %.1f%%, closed %.2f%%):\n" benchmark (100. *. open_rate)
-        (100. *. closed_rate);
-      print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Yield.to_table sweep)))
+  let configs =
     [
       ("rd53", 0.05, 0.01, [ 0; 1; 2; 3; 4 ]);
       ("misex1", 0.05, 0.01, [ 0; 1; 2; 3; 4 ]);
       ("bw", 0.02, 0.002, [ 0; 2; 4; 6; 8 ]);
     ]
+  in
+  let trials =
+    samples
+    * List.fold_left (fun acc (_, _, _, levels) -> acc + List.length levels) 0 configs
+  in
+  timed "yield" ~trials (fun () ->
+      List.iter
+        (fun (benchmark, open_rate, closed_rate, spare_levels) ->
+          let sweep =
+            Mcx.Experiments.Yield.run ~pool:(pool ()) ~samples ~seed ~benchmark
+              ~open_rate ~closed_rate ~spare_levels ()
+          in
+          Printf.printf "\n%s (open %.1f%%, closed %.2f%%):\n" benchmark
+            (100. *. open_rate) (100. *. closed_rate);
+          print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Yield.to_table sweep)))
+        configs)
 
 let mldefect () =
   let samples = samples_default 100 in
   heading "EXT-MLDEF - defect-tolerant mapping of multi-level designs (stuck-open)";
-  List.iter
-    (fun (benchmark, spare_rows) ->
-      let result = Mcx.Experiments.Mldefect.run ~samples ~spare_rows ~seed ~benchmark () in
-      Printf.printf "\n%s (+%d spare rows): %d NAND gates, multi-level area %d\n" benchmark
-        spare_rows result.Mcx.Experiments.Mldefect.gates
-        result.Mcx.Experiments.Mldefect.area;
-      print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Mldefect.to_table result)))
-    [ ("misex1", 0); ("rd53", 0); ("squar5", 0); ("misex1", 4); ("rd53", 4) ]
+  let configs = [ ("misex1", 0); ("rd53", 0); ("squar5", 0); ("misex1", 4); ("rd53", 4) ] in
+  timed "mldefect" ~trials:(4 * samples * List.length configs) (fun () ->
+      List.iter
+        (fun (benchmark, spare_rows) ->
+          let result =
+            Mcx.Experiments.Mldefect.run ~pool:(pool ()) ~samples ~spare_rows ~seed
+              ~benchmark ()
+          in
+          Printf.printf "\n%s (+%d spare rows): %d NAND gates, multi-level area %d\n"
+            benchmark spare_rows result.Mcx.Experiments.Mldefect.gates
+            result.Mcx.Experiments.Mldefect.area;
+          print_string
+            (Mcx.Util.Texttable.render (Mcx.Experiments.Mldefect.to_table result)))
+        configs)
 
 let ratesweep () =
   let samples = samples_default 100 in
   heading "EXT-RATE - Psucc vs stuck-open rate: hybrid / exact / annealing baseline";
-  List.iter
-    (fun benchmark ->
-      let sweep = Mcx.Experiments.Ratesweep.run ~samples ~seed ~benchmark () in
-      Printf.printf "\n%s:\n" benchmark;
-      print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Ratesweep.to_table sweep)))
-    [ "rd53"; "rd73" ]
+  timed "ratesweep" ~trials:(7 * samples * 2) (fun () ->
+      List.iter
+        (fun benchmark ->
+          let sweep =
+            Mcx.Experiments.Ratesweep.run ~pool:(pool ()) ~samples ~seed ~benchmark ()
+          in
+          Printf.printf "\n%s:\n" benchmark;
+          print_string
+            (Mcx.Util.Texttable.render (Mcx.Experiments.Ratesweep.to_table sweep)))
+        [ "rd53"; "rd73" ])
 
 let ablation () =
   let samples = samples_default 100 in
   heading "ABLATION 1 - factoring strategy (flat / quick / kernel) on the Fig. 6 workload";
-  let rows = Mcx.Experiments.Ablation.factoring ~samples ~input_sizes:[ 8; 10 ] ~seed () in
-  print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Ablation.factoring_table rows));
-  heading "ABLATION 2 - hybrid greedy order (top-down vs hardest-first) at 10% defects";
-  let rows = Mcx.Experiments.Ablation.ordering ~samples ~seed () in
-  print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Ablation.ordering_table rows));
-  heading "ABLATION 3 - NAND fan-in limit (the paper allows 2..n)";
-  let rows = Mcx.Experiments.Ablation.fanin () in
-  print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Ablation.fanin_table rows))
+  timed "ablation" ~trials:(samples * (2 + 5)) (fun () ->
+      let rows =
+        Mcx.Experiments.Ablation.factoring ~pool:(pool ()) ~samples ~input_sizes:[ 8; 10 ]
+          ~seed ()
+      in
+      print_string
+        (Mcx.Util.Texttable.render (Mcx.Experiments.Ablation.factoring_table rows));
+      heading "ABLATION 2 - hybrid greedy order (top-down vs hardest-first) at 10% defects";
+      let rows = Mcx.Experiments.Ablation.ordering ~pool:(pool ()) ~samples ~seed () in
+      print_string
+        (Mcx.Util.Texttable.render (Mcx.Experiments.Ablation.ordering_table rows));
+      heading "ABLATION 3 - NAND fan-in limit (the paper allows 2..n)";
+      let rows = Mcx.Experiments.Ablation.fanin () in
+      print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Ablation.fanin_table rows)))
 
 let tradeoff () =
   heading "EXT-TRADE - area / computation steps / memristor writes per evaluation";
@@ -221,24 +272,29 @@ let tradeoff () =
 let aging () =
   let samples = samples_default 60 in
   heading "EXT-AGING - incremental repair vs remap as stuck-open faults accumulate";
-  let results =
-    List.map
-      (fun benchmark -> Mcx.Experiments.Aging.run ~samples ~seed ~benchmark ())
-      [ "rd53"; "misex1"; "sqrt8" ]
-  in
-  print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Aging.to_table results))
+  timed "aging" ~trials:(3 * samples) (fun () ->
+      let results =
+        List.map
+          (fun benchmark ->
+            Mcx.Experiments.Aging.run ~pool:(pool ()) ~samples ~seed ~benchmark ())
+          [ "rd53"; "misex1"; "sqrt8" ]
+      in
+      print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Aging.to_table results)))
 
 let transient () =
   let evaluations = samples_default 300 in
   heading "EXT-TRANSIENT - write-upset error rate, two-level vs multi-level";
-  List.iter
-    (fun benchmark ->
-      let r = Mcx.Experiments.Transient.run ~evaluations ~seed ~benchmark () in
-      Printf.printf "\n%s (writes per evaluation: %d two-level, %d multi-level):\n"
-        benchmark r.Mcx.Experiments.Transient.two_level_writes
-        r.Mcx.Experiments.Transient.multi_level_writes;
-      print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Transient.to_table r)))
-    [ "rd53"; "misex1" ]
+  timed "transient" ~trials:(4 * evaluations * 2) (fun () ->
+      List.iter
+        (fun benchmark ->
+          let r =
+            Mcx.Experiments.Transient.run ~pool:(pool ()) ~evaluations ~seed ~benchmark ()
+          in
+          Printf.printf "\n%s (writes per evaluation: %d two-level, %d multi-level):\n"
+            benchmark r.Mcx.Experiments.Transient.two_level_writes
+            r.Mcx.Experiments.Transient.multi_level_writes;
+          print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Transient.to_table r)))
+        [ "rd53"; "misex1" ])
 
 let margin () =
   heading "EXT-MARGIN - electrical sense margin vs line width (resistive-divider model)";
@@ -338,4 +394,9 @@ let () =
         Printf.eprintf "unknown experiment %S; known: %s\n" name
           (String.concat ", " (List.map fst experiments));
         exit 2)
-    requested
+    requested;
+  if Mcx.Util.Timing.Counter.events wall > 0 then
+    Printf.eprintf "[mcx] total     wall %7.2fs over %d Monte Carlo experiments (MCX_JOBS=%d)\n%!"
+      (Mcx.Util.Timing.Counter.total_seconds wall)
+      (Mcx.Util.Timing.Counter.events wall)
+      (Mcx.Util.Pool.jobs (pool ()))

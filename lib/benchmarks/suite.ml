@@ -58,11 +58,10 @@ let synth ~name ~inputs ~outputs ~products ?(ir = 20.) ?(skew = 0.) ~neg_product
     inputs;
     outputs;
     products;
-    source = synthetic ~ir ~skew ~seed:(Hashtbl.hash name) ~inputs ~outputs ~products ();
+    source = synthetic ~ir ~skew ~seed:name ~inputs ~outputs ~products ();
     negation =
-      synthetic ~ir:neg_ir ~skew
-        ~seed:(Hashtbl.hash (name ^ "~neg"))
-        ~inputs ~outputs ~products:neg_products ();
+      synthetic ~ir:neg_ir ~skew ~seed:(name ^ "~neg") ~inputs ~outputs
+        ~products:neg_products ();
     in_table1;
     in_table2;
     paper;
@@ -282,18 +281,27 @@ let find name =
   | None -> raise Not_found
 
 let memo : (string, Mcx_logic.Mo_cover.t) Hashtbl.t = Hashtbl.create 32
+let memo_mutex = Mutex.create ()
 
+(* The mutex keeps the memo safe when covers are first requested from
+   parallel pool workers; building outside the lock could duplicate work
+   but never produce different covers, so holding it across the build is
+   the simpler correct choice (builds run once per process). *)
 let build key source =
-  match Hashtbl.find_opt memo key with
-  | Some cover -> cover
-  | None ->
-    let cover =
-      match source with
-      | Arithmetic f -> f ()
-      | Synthetic params -> Synthetic.generate params
-    in
-    Hashtbl.replace memo key cover;
-    cover
+  Mutex.lock memo_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock memo_mutex)
+    (fun () ->
+      match Hashtbl.find_opt memo key with
+      | Some cover -> cover
+      | None ->
+        let cover =
+          match source with
+          | Arithmetic f -> f ()
+          | Synthetic params -> Synthetic.generate params
+        in
+        Hashtbl.replace memo key cover;
+        cover)
 
 let cover b = build b.name b.source
 let negated_cover b = build (b.name ^ "~neg") b.negation

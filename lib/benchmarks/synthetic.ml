@@ -5,7 +5,7 @@ type params = {
   n_outputs : int;
   n_products : int;
   inclusion_ratio : float;
-  seed : int;
+  seed : string;
   skew : float;
 }
 
@@ -72,7 +72,13 @@ let distribute ~skew ~total ~n ~lo ~hi =
 let generate p =
   if p.n_inputs <= 0 || p.n_outputs <= 0 || p.n_products <= 0 then
     invalid_arg "Synthetic.generate: counts must be positive";
-  let prng = Mcx_util.Prng.create (Hashtbl.hash (p.seed, p.n_inputs, p.n_outputs, p.n_products)) in
+  let prng =
+    Mcx_util.Prng.of_key
+      Mcx_util.Prng.Key.(
+        int
+          (int (int (string (root 0) p.seed) p.n_inputs) p.n_outputs)
+          p.n_products)
+  in
   let lit_total, conn_total = split_budget p (max 0 (planned_switches p - (2 * p.n_outputs))) in
   let lits_per_row =
     distribute ~skew:p.skew ~total:lit_total ~n:p.n_products ~lo:1 ~hi:p.n_inputs

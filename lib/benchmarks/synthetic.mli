@@ -14,7 +14,9 @@ type params = {
   n_outputs : int;
   n_products : int;
   inclusion_ratio : float;  (** target IR in percent, e.g. 19.0 *)
-  seed : int;  (** per-benchmark determinism *)
+  seed : string;
+      (** per-benchmark stream label, mixed into a full-width
+          {!Mcx_util.Prng.Key} together with (I, O, P) *)
   skew : float;
       (** row-weight skew in [0, 1]: 0 spreads the switch budget uniformly
           over the product rows; larger values concentrate it on a heavy

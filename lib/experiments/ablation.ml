@@ -16,22 +16,24 @@ type factoring_row = {
   kernel_win_rate : float;
 }
 
-let factoring ?(samples = 60) ?(input_sizes = [ 8; 10 ]) ~seed () =
+let factoring ?pool ?(samples = 60) ?(input_sizes = [ 8; 10 ]) ~seed () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let row n_inputs =
-    let prng = Prng.create (Hashtbl.hash (seed, "ablation", n_inputs)) in
-    let results =
-      List.init samples (fun _ ->
-          let params = Random_sop.paper_params prng ~n_inputs in
-          let f = Random_sop.random_cover prng params in
-          let two = (Cost.two_level (Mo_cover.of_single f)).Cost.area in
-          let area strategy =
-            Cost.multi_level_area (Mcx_netlist.Tech_map.map_cover ~strategy f)
-          in
-          ( two,
-            area Mcx_netlist.Tech_map.Flat,
-            area Mcx_netlist.Tech_map.Quick,
-            area Mcx_netlist.Tech_map.Kernel ))
+    let key = Prng.Key.(int (string (root seed) "ablation-factoring") n_inputs) in
+    let trial i =
+      let prng = Prng.derive key i in
+      let params = Random_sop.paper_params prng ~n_inputs in
+      let f = Random_sop.random_cover prng params in
+      let two = (Cost.two_level (Mo_cover.of_single f)).Cost.area in
+      let area strategy =
+        Cost.multi_level_area (Mcx_netlist.Tech_map.map_cover ~strategy f)
+      in
+      ( two,
+        area Mcx_netlist.Tech_map.Flat,
+        area Mcx_netlist.Tech_map.Quick,
+        area Mcx_netlist.Tech_map.Kernel )
     in
+    let results = Array.to_list (Pool.map pool samples trial) in
     let median f = Stats.median (List.map (fun r -> float_of_int (f r)) results) in
     let win f =
       Stats.success_rate (List.map (fun ((two, _, _, _) as r) -> f r < two) results)
@@ -80,24 +82,37 @@ type ordering_row = {
   exact_psucc : float;
 }
 
-let ordering ?(samples = 100) ?(defect_rate = 0.10)
+let ordering ?pool ?(samples = 100) ?(defect_rate = 0.10)
     ?(benchmarks = [ "rd53"; "rd73"; "rd84"; "sao2"; "exp5" ]) ~seed () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let row benchmark =
     let bench = Suite.find benchmark in
     let cover = Suite.cover bench in
     let fm = Function_matrix.build cover in
     let geometry = fm.Function_matrix.geometry in
     let rows = Geometry.rows geometry and cols = Geometry.cols geometry in
-    let prng = Prng.create (Hashtbl.hash (seed, "ordering", benchmark)) in
-    let top = ref 0 and hardest = ref 0 and exact = ref 0 in
-    for _ = 1 to samples do
-      let defects = Defect_map.random prng ~rows ~cols ~open_rate:defect_rate ~closed_rate:0. in
+    let key =
+      Prng.Key.(
+        float (string (string (root seed) "ablation-ordering") benchmark) defect_rate)
+    in
+    let trial i =
+      let prng = Prng.derive key i in
+      let defects =
+        Defect_map.random prng ~rows ~cols ~open_rate:defect_rate ~closed_rate:0.
+      in
       let cm = Matching.cm_of_defects defects in
-      if Hybrid.map ~order:Hybrid.Top_down fm cm <> None then incr top;
-      if Hybrid.map ~order:Hybrid.Hardest_first fm cm <> None then incr hardest;
-      if Exact.feasible fm cm then incr exact
-    done;
-    let pct c = 100. *. float_of_int !c /. float_of_int samples in
+      ( Hybrid.map ~order:Hybrid.Top_down fm cm <> None,
+        Hybrid.map ~order:Hybrid.Hardest_first fm cm <> None,
+        Exact.feasible fm cm )
+    in
+    let top, hardest, exact =
+      Pool.map_reduce pool ~n:samples ~map:trial ~init:(0, 0, 0)
+        ~fold:(fun (t, h, e) (top, hardest, exact) ->
+          ( (if top then t + 1 else t),
+            (if hardest then h + 1 else h),
+            if exact then e + 1 else e ))
+    in
+    let pct c = 100. *. float_of_int c /. float_of_int samples in
     {
       benchmark;
       top_down_psucc = pct top;

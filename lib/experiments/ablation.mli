@@ -21,7 +21,12 @@ type factoring_row = {
 }
 
 val factoring :
-  ?samples:int -> ?input_sizes:int list -> seed:int -> unit -> factoring_row list
+  ?pool:Mcx_util.Pool.t ->
+  ?samples:int ->
+  ?input_sizes:int list ->
+  seed:int ->
+  unit ->
+  factoring_row list
 (** Defaults: 60 samples per size, sizes [8; 10]. *)
 
 val factoring_table : factoring_row list -> Mcx_util.Texttable.t
@@ -34,6 +39,7 @@ type ordering_row = {
 }
 
 val ordering :
+  ?pool:Mcx_util.Pool.t ->
   ?samples:int ->
   ?defect_rate:float ->
   ?benchmarks:string list ->

@@ -12,24 +12,33 @@ type result = {
   repairs_verified : bool;
 }
 
-let run ?(samples = 60) ?(max_faults = 200) ~seed ~benchmark () =
+(* What one die's whole lifetime contributes to the aggregate. *)
+type die = {
+  faults_survived : float;
+  die_touches : float list;  (** rows touched, one entry per non-trivial repair *)
+  die_remap_moves : float list;
+  die_verified : bool;
+}
+
+let run ?pool ?(samples = 60) ?(max_faults = 200) ~seed ~benchmark () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let bench = Suite.find benchmark in
   let cover = Suite.cover bench in
   let fm_struct = Function_matrix.build cover in
   let fm = fm_struct.Function_matrix.matrix in
   let geometry = fm_struct.Function_matrix.geometry in
   let rows = Geometry.rows geometry and cols = Geometry.cols geometry in
-  let survived = ref [] in
-  let touches = ref [] in
-  let remap_moves = ref [] in
-  let verified = ref true in
-  let prng = Prng.create (Hashtbl.hash (seed, "aging", benchmark)) in
-  for _ = 1 to samples do
-    (* fresh die: pristine crossbar, identity placement *)
+  let key = Prng.Key.(string (string (root seed) "aging") benchmark) in
+  let die index =
+    (* fresh die: pristine crossbar, identity placement, private stream *)
+    let prng = Prng.derive key index in
     let defects = Defect_map.create ~rows ~cols in
     let assignment = ref (Array.init rows Fun.id) in
     let alive = ref true in
     let faults = ref 0 in
+    let touches = ref [] in
+    let remap_moves = ref [] in
+    let verified = ref true in
     while !alive && !faults < max_faults do
       (* a new stuck-open fault lands on a random functional junction *)
       let r = Prng.int prng rows and c = Prng.int prng cols in
@@ -52,21 +61,27 @@ let run ?(samples = 60) ?(max_faults = 200) ~seed ~benchmark () =
             if not (Matching.check_assignment ~fm ~cm repaired) then verified := false
           end;
           assignment := repaired
-        | None ->
-          alive := false;
-          survived := float_of_int (!faults - 1) :: !survived
+        | None -> alive := false
       end
     done;
-    if !alive then survived := float_of_int !faults :: !survived
-  done;
+    {
+      faults_survived = float_of_int (if !alive then !faults else !faults - 1);
+      die_touches = List.rev !touches;
+      die_remap_moves = List.rev !remap_moves;
+      die_verified = !verified;
+    }
+  in
+  let dies = Pool.map pool samples die in
+  let survived = Array.to_list (Array.map (fun d -> d.faults_survived) dies) in
+  let touches = List.concat_map (fun d -> d.die_touches) (Array.to_list dies) in
+  let remap_moves = List.concat_map (fun d -> d.die_remap_moves) (Array.to_list dies) in
   {
     benchmark;
     samples;
-    mean_faults_survived = Stats.mean !survived;
-    mean_rows_touched_per_repair =
-      (match !touches with [] -> 0. | l -> Stats.mean l);
-    remap_rows_baseline = (match !remap_moves with [] -> 0. | l -> Stats.mean l);
-    repairs_verified = !verified;
+    mean_faults_survived = Stats.mean survived;
+    mean_rows_touched_per_repair = (match touches with [] -> 0. | l -> Stats.mean l);
+    remap_rows_baseline = (match remap_moves with [] -> 0. | l -> Stats.mean l);
+    repairs_verified = Array.for_all (fun d -> d.die_verified) dies;
   }
 
 let to_table results =

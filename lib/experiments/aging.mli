@@ -19,7 +19,15 @@ type result = {
   repairs_verified : bool;  (** every repaired placement re-checked *)
 }
 
-val run : ?samples:int -> ?max_faults:int -> seed:int -> benchmark:string -> unit -> result
-(** Defaults: 60 dies, at most 200 faults each. *)
+val run :
+  ?pool:Mcx_util.Pool.t ->
+  ?samples:int ->
+  ?max_faults:int ->
+  seed:int ->
+  benchmark:string ->
+  unit ->
+  result
+(** Defaults: 60 dies, at most 200 faults each. Dies age independently on
+    [pool] (default {!Mcx_util.Pool.default}), one derived stream per die. *)
 
 val to_table : result list -> Mcx_util.Texttable.t

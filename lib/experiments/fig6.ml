@@ -31,9 +31,13 @@ let one_sample prng ~n_inputs =
     gates = Mcx_netlist.Network.gate_count mapped.Mcx_netlist.Tech_map.network;
   }
 
-let run_panel ?(samples = 200) ~seed ~n_inputs () =
-  let prng = Prng.create (Hashtbl.hash (seed, n_inputs)) in
-  let raw = List.init samples (fun _ -> one_sample prng ~n_inputs) in
+let run_panel ?pool ?(samples = 200) ~seed ~n_inputs () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let key = Prng.Key.(int (string (root seed) "fig6") n_inputs) in
+  let raw =
+    Array.to_list
+      (Pool.map pool samples (fun i -> one_sample (Prng.derive key i) ~n_inputs))
+  in
   let sorted =
     List.stable_sort (fun a b -> Int.compare a.n_products b.n_products) raw
   in
@@ -41,8 +45,8 @@ let run_panel ?(samples = 200) ~seed ~n_inputs () =
   let success_rate = 100. *. float_of_int (List.length wins) /. float_of_int samples in
   { n_inputs; samples = sorted; success_rate }
 
-let run ?(samples = 200) ?(input_sizes = [ 8; 9; 10; 15 ]) ~seed () =
-  List.map (fun n_inputs -> run_panel ~samples ~seed ~n_inputs ()) input_sizes
+let run ?pool ?(samples = 200) ?(input_sizes = [ 8; 9; 10; 15 ]) ~seed () =
+  List.map (fun n_inputs -> run_panel ?pool ~samples ~seed ~n_inputs ()) input_sizes
 
 let median_of f panel =
   Stats.median (List.map (fun s -> float_of_int (f s)) panel.samples)

@@ -20,10 +20,19 @@ type panel = {
   success_rate : float;  (** percent of samples with multi < two *)
 }
 
-val run_panel : ?samples:int -> seed:int -> n_inputs:int -> unit -> panel
-(** One panel; [samples] defaults to the paper's 200. *)
+val run_panel :
+  ?pool:Mcx_util.Pool.t -> ?samples:int -> seed:int -> n_inputs:int -> unit -> panel
+(** One panel; [samples] defaults to the paper's 200. Samples are
+    independent trials distributed over [pool] (default
+    {!Mcx_util.Pool.default}), each with its own derived stream. *)
 
-val run : ?samples:int -> ?input_sizes:int list -> seed:int -> unit -> panel list
+val run :
+  ?pool:Mcx_util.Pool.t ->
+  ?samples:int ->
+  ?input_sizes:int list ->
+  seed:int ->
+  unit ->
+  panel list
 (** All panels; [input_sizes] defaults to the paper's [8; 9; 10; 15]. *)
 
 val summary_table : panel list -> Mcx_util.Texttable.t

@@ -14,8 +14,9 @@ type result = {
   points : point list;
 }
 
-let run ?(samples = 100) ?(defect_rates = [ 0.02; 0.05; 0.10; 0.15 ]) ?(spare_rows = 0)
-    ~seed ~benchmark () =
+let run ?pool ?(samples = 100) ?(defect_rates = [ 0.02; 0.05; 0.10; 0.15 ])
+    ?(spare_rows = 0) ~seed ~benchmark () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let bench = Suite.find benchmark in
   let cover = Suite.cover bench in
   let mapped = Mcx_netlist.Tech_map.map_mo cover in
@@ -25,10 +26,13 @@ let run ?(samples = 100) ?(defect_rates = [ 0.02; 0.05; 0.10; 0.15 ]) ?(spare_ro
   let gate_rows = List.init (reference_ml.Multilevel.rows - 1) Fun.id in
   let latch_row = reference_ml.Multilevel.rows - 1 in
   let can_simulate = Mcx_logic.Mo_cover.n_inputs cover <= 12 in
+  let key =
+    Prng.Key.(int (string (string (root seed) "mldefect") benchmark) spare_rows)
+  in
   let point defect_rate =
-    let prng = Prng.create (Hashtbl.hash (seed, benchmark, defect_rate, spare_rows)) in
-    let hits = ref 0 and all_ok = ref true in
-    for _ = 1 to samples do
+    let point_key = Prng.Key.float key defect_rate in
+    let trial i =
+      let prng = Prng.derive point_key i in
       let defects =
         Defect_map.random prng ~rows:physical_rows ~cols:reference_ml.Multilevel.cols
           ~open_rate:defect_rate ~closed_rate:0.
@@ -39,18 +43,24 @@ let run ?(samples = 100) ?(defect_rates = [ 0.02; 0.05; 0.10; 0.15 ]) ?(spare_ro
       in
       match assignment with
       | Some row_assignment ->
-        incr hits;
-        if can_simulate then begin
+        let ok =
+          (not can_simulate)
+          ||
           let placed = Multilevel.place ~row_assignment ~physical_rows mapped in
-          if not (Multilevel.agrees_with_reference ~defects placed cover) then
-            all_ok := false
-        end
-      | None -> ()
-    done;
+          Multilevel.agrees_with_reference ~defects placed cover
+        in
+        (true, ok)
+      | None -> (false, true)
+    in
+    let hits, all_ok =
+      Pool.map_reduce pool ~n:samples ~map:trial ~init:(0, true)
+        ~fold:(fun (hits, ok) (hit, valid) ->
+          ((if hit then hits + 1 else hits), ok && valid))
+    in
     {
       defect_rate;
-      psucc = 100. *. float_of_int !hits /. float_of_int samples;
-      all_simulations_correct = !all_ok;
+      psucc = 100. *. float_of_int hits /. float_of_int samples;
+      all_simulations_correct = all_ok;
     }
   in
   {

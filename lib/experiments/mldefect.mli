@@ -25,6 +25,7 @@ type result = {
 }
 
 val run :
+  ?pool:Mcx_util.Pool.t ->
   ?samples:int ->
   ?defect_rates:float list ->
   ?spare_rows:int ->

@@ -12,28 +12,42 @@ type point = {
 
 type sweep = { benchmark : string; samples : int; points : point list }
 
-let run ?(samples = 100) ?(defect_rates = [ 0.02; 0.05; 0.08; 0.10; 0.12; 0.15; 0.20 ])
-    ~seed ~benchmark () =
+let run ?pool ?(samples = 100)
+    ?(defect_rates = [ 0.02; 0.05; 0.08; 0.10; 0.12; 0.15; 0.20 ]) ~seed ~benchmark () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let bench = Suite.find benchmark in
   let cover = Suite.cover bench in
   let fm = Function_matrix.build cover in
   let geometry = fm.Function_matrix.geometry in
   let rows = Geometry.rows geometry and cols = Geometry.cols geometry in
+  let key = Prng.Key.(string (string (root seed) "ratesweep") benchmark) in
   let point defect_rate =
-    let prng = Prng.create (Hashtbl.hash (seed, benchmark, defect_rate)) in
-    let hba = ref 0 and ea = ref 0 and ann = ref 0 in
-    for _ = 1 to samples do
-      let defects = Defect_map.random prng ~rows ~cols ~open_rate:defect_rate ~closed_rate:0. in
+    let point_key = Prng.Key.float key defect_rate in
+    let trial i =
+      let prng = Prng.derive point_key i in
+      let defects =
+        Defect_map.random prng ~rows ~cols ~open_rate:defect_rate ~closed_rate:0.
+      in
       let cm = Matching.cm_of_defects defects in
-      if Hybrid.map fm cm <> None then incr hba;
-      if Exact.feasible fm cm then incr ea;
-      (match Annealing.map ~prng fm cm with
-      | Some assignment ->
-        assert (Matching.check_assignment ~fm:fm.Function_matrix.matrix ~cm assignment);
-        incr ann
-      | None -> ())
-    done;
-    let pct c = 100. *. float_of_int !c /. float_of_int samples in
+      let hba = Hybrid.map fm cm <> None in
+      let ea = Exact.feasible fm cm in
+      let ann =
+        match Annealing.map ~prng fm cm with
+        | Some assignment ->
+          assert (Matching.check_assignment ~fm:fm.Function_matrix.matrix ~cm assignment);
+          true
+        | None -> false
+      in
+      (hba, ea, ann)
+    in
+    let hba, ea, ann =
+      Pool.map_reduce pool ~n:samples ~map:trial ~init:(0, 0, 0)
+        ~fold:(fun (h, e, a) (hba, ea, ann) ->
+          ( (if hba then h + 1 else h),
+            (if ea then e + 1 else e),
+            if ann then a + 1 else a ))
+    in
+    let pct c = 100. *. float_of_int c /. float_of_int samples in
     { defect_rate; hba_psucc = pct hba; ea_psucc = pct ea; annealing_psucc = pct ann }
   in
   { benchmark; samples; points = List.map point defect_rates }

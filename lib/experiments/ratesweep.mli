@@ -15,6 +15,7 @@ type point = {
 type sweep = { benchmark : string; samples : int; points : point list }
 
 val run :
+  ?pool:Mcx_util.Pool.t ->
   ?samples:int ->
   ?defect_rates:float list ->
   seed:int ->

@@ -29,37 +29,55 @@ let implementation_cover bench =
   let area c = (Cost.two_level c).Cost.area in
   if area dual < area direct then (dual, true) else (direct, false)
 
-let run_row ?(samples = 200) ?(defect_rate = 0.10) ~seed bench =
+(* Everything one trial contributes to the aggregate row; folded strictly
+   in trial order so the float sums stay deterministic for a given run. *)
+type trial = {
+  hba_hit : bool;
+  hba_valid : bool;
+  hba_dt : float;
+  ea_hit : bool;
+  ea_valid : bool;
+  ea_dt : float;
+}
+
+let run_row ?pool ?(samples = 200) ?(defect_rate = 0.10) ~seed bench =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let cover, dual_used = implementation_cover bench in
   let fm = Function_matrix.build cover in
   let report = Cost.two_level cover in
-  let prng = Prng.create (Hashtbl.hash (seed, bench.Suite.name)) in
+  let key =
+    Prng.Key.(
+      float (string (string (root seed) "table2") bench.Suite.name) defect_rate)
+  in
   let rows = report.Cost.rows and cols = report.Cost.cols in
-  let hba_hits = ref 0 and ea_hits = ref 0 in
-  let hba_seconds = ref 0. and ea_seconds = ref 0. in
-  let hba_all_valid = ref true and ea_all_valid = ref true in
-  for _ = 1 to samples do
+  let trial i =
+    let prng = Prng.derive key i in
     let defects =
       Defect_map.random prng ~rows ~cols ~open_rate:defect_rate ~closed_rate:0.
     in
     let cm = Matching.cm_of_defects defects in
     let hba_result, hba_dt = Timing.time (fun () -> Hybrid.map fm cm) in
     let ea_result, ea_dt = Timing.time (fun () -> Exact.map fm cm) in
-    hba_seconds := !hba_seconds +. hba_dt;
-    ea_seconds := !ea_seconds +. ea_dt;
-    (match hba_result with
-    | Some assignment ->
-      incr hba_hits;
-      if not (Matching.check_assignment ~fm:fm.Function_matrix.matrix ~cm assignment) then
-        hba_all_valid := false
-    | None -> ());
-    match ea_result with
-    | Some assignment ->
-      incr ea_hits;
-      if not (Matching.check_assignment ~fm:fm.Function_matrix.matrix ~cm assignment) then
-        ea_all_valid := false
-    | None -> ()
-  done;
+    let outcome = function
+      | Some assignment ->
+        (true, Matching.check_assignment ~fm:fm.Function_matrix.matrix ~cm assignment)
+      | None -> (false, true)
+    in
+    let hba_hit, hba_valid = outcome hba_result in
+    let ea_hit, ea_valid = outcome ea_result in
+    { hba_hit; hba_valid; hba_dt; ea_hit; ea_valid; ea_dt }
+  in
+  let hba_time = Timing.Counter.create () and ea_time = Timing.Counter.create () in
+  let hba_hits, ea_hits, hba_all_valid, ea_all_valid =
+    Pool.map_reduce pool ~n:samples ~map:trial ~init:(0, 0, true, true)
+      ~fold:(fun (hba, ea, hba_ok, ea_ok) t ->
+        Timing.Counter.add hba_time t.hba_dt;
+        Timing.Counter.add ea_time t.ea_dt;
+        ( (if t.hba_hit then hba + 1 else hba),
+          (if t.ea_hit then ea + 1 else ea),
+          hba_ok && t.hba_valid,
+          ea_ok && t.ea_valid ))
+  in
   let pct hits = 100. *. float_of_int hits /. float_of_int samples in
   {
     name = bench.Suite.name;
@@ -69,22 +87,22 @@ let run_row ?(samples = 200) ?(defect_rate = 0.10) ~seed bench =
     area = report.Cost.area;
     inclusion_ratio = report.Cost.inclusion_ratio;
     dual_used;
-    hba_psucc = pct !hba_hits;
-    hba_mean_seconds = !hba_seconds /. float_of_int samples;
-    ea_psucc = pct !ea_hits;
-    ea_mean_seconds = !ea_seconds /. float_of_int samples;
-    hba_all_valid = !hba_all_valid;
-    ea_all_valid = !ea_all_valid;
+    hba_psucc = pct hba_hits;
+    hba_mean_seconds = Timing.Counter.mean_seconds hba_time;
+    ea_psucc = pct ea_hits;
+    ea_mean_seconds = Timing.Counter.mean_seconds ea_time;
+    hba_all_valid;
+    ea_all_valid;
     paper = bench.Suite.paper;
   }
 
-let run ?samples ?defect_rate ?benchmarks ~seed () =
+let run ?pool ?samples ?defect_rate ?benchmarks ~seed () =
   let selected =
     match benchmarks with
     | None -> Suite.table2
     | Some names -> List.map Suite.find names
   in
-  List.map (fun b -> run_row ?samples ?defect_rate ~seed b) selected
+  List.map (fun b -> run_row ?pool ?samples ?defect_rate ~seed b) selected
 
 let opt_pct = function Some v -> Printf.sprintf "%.0f" v | None -> "-"
 

@@ -26,12 +26,26 @@ type row = {
 }
 
 val run_row :
-  ?samples:int -> ?defect_rate:float -> seed:int -> Mcx_benchmarks.Suite.t -> row
+  ?pool:Mcx_util.Pool.t ->
+  ?samples:int ->
+  ?defect_rate:float ->
+  seed:int ->
+  Mcx_benchmarks.Suite.t ->
+  row
 (** Monte Carlo for one circuit; [samples] defaults to 200 and
-    [defect_rate] to 0.10 (stuck-open only, as in §V). *)
+    [defect_rate] to 0.10 (stuck-open only, as in §V). Trials are
+    distributed over [pool] (default {!Mcx_util.Pool.default}); success
+    columns are job-count independent, the timing columns are measured
+    per trial on whichever domain ran it. *)
 
 val run :
-  ?samples:int -> ?defect_rate:float -> ?benchmarks:string list -> seed:int -> unit -> row list
+  ?pool:Mcx_util.Pool.t ->
+  ?samples:int ->
+  ?defect_rate:float ->
+  ?benchmarks:string list ->
+  seed:int ->
+  unit ->
+  row list
 
 val to_table : row list -> Mcx_util.Texttable.t
 val to_csv : row list -> string

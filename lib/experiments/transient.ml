@@ -17,25 +17,34 @@ type result = {
   points : point list;
 }
 
-let run ?(evaluations = 300) ?(upset_rates = [ 1e-4; 3e-4; 1e-3; 3e-3 ]) ~seed ~benchmark
-    () =
+let run ?pool ?(evaluations = 300) ?(upset_rates = [ 1e-4; 3e-4; 1e-3; 3e-3 ]) ~seed
+    ~benchmark () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let bench = Suite.find benchmark in
   let cover = Suite.cover bench in
   let n = Mo_cover.n_inputs cover in
   let layout = Layout.of_cover cover in
   let mapped = Mcx_netlist.Tech_map.map_mo cover in
   let ml = Multilevel.place mapped in
+  let key = Prng.Key.(string (string (root seed) "transient") benchmark) in
   let point upset_rate =
-    let prng = Prng.create (Hashtbl.hash (seed, benchmark, upset_rate)) in
-    let two_errors = ref 0 and multi_errors = ref 0 in
-    for _ = 1 to evaluations do
+    let point_key = Prng.Key.float key upset_rate in
+    let trial i =
+      let prng = Prng.derive point_key i in
       let v = Array.init n (fun _ -> Prng.bool prng) in
       let reference = Mo_cover.eval cover v in
-      if Sim.run_with_upsets ~prng ~upset_rate layout v <> reference then incr two_errors;
-      if Multilevel.run_with_upsets ~prng ~upset_rate ml v <> reference then
-        incr multi_errors
-    done;
-    let pct c = 100. *. float_of_int !c /. float_of_int evaluations in
+      let two_wrong = Sim.run_with_upsets ~prng ~upset_rate layout v <> reference in
+      let multi_wrong =
+        Multilevel.run_with_upsets ~prng ~upset_rate ml v <> reference
+      in
+      (two_wrong, multi_wrong)
+    in
+    let two_errors, multi_errors =
+      Pool.map_reduce pool ~n:evaluations ~map:trial ~init:(0, 0)
+        ~fold:(fun (two, multi) (two_wrong, multi_wrong) ->
+          ((if two_wrong then two + 1 else two), if multi_wrong then multi + 1 else multi))
+    in
+    let pct c = 100. *. float_of_int c /. float_of_int evaluations in
     {
       upset_rate;
       two_level_error_rate = pct two_errors;

@@ -24,6 +24,7 @@ type result = {
 }
 
 val run :
+  ?pool:Mcx_util.Pool.t ->
   ?evaluations:int ->
   ?upset_rates:float list ->
   seed:int ->

@@ -19,33 +19,43 @@ type sweep = {
   points : point list;
 }
 
-let run ?(samples = 100) ?(spare_levels = [ 0; 1; 2; 3; 4 ]) ?(open_rate = 0.05)
+let run ?pool ?(samples = 100) ?(spare_levels = [ 0; 1; 2; 3; 4 ]) ?(open_rate = 0.05)
     ?(closed_rate = 0.01) ~seed ~benchmark () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let bench = Suite.find benchmark in
   let cover = Suite.cover bench in
   let fm = Function_matrix.build cover in
   let geometry = fm.Function_matrix.geometry in
   let base_rows = Geometry.rows geometry and base_cols = Geometry.cols geometry in
   let optimum_area = base_rows * base_cols in
+  let key =
+    Prng.Key.(
+      float
+        (float (string (string (root seed) "yield") benchmark) open_rate)
+        closed_rate)
+  in
   let point spares =
     let rows = base_rows + spares and cols = base_cols + spares in
-    let prng = Prng.create (Hashtbl.hash (seed, benchmark, spares)) in
-    let hits = ref 0 and all_valid = ref true in
-    for _ = 1 to samples do
+    let point_key = Prng.Key.int key spares in
+    let trial i =
+      let prng = Prng.derive point_key i in
       let defects = Defect_map.random prng ~rows ~cols ~open_rate ~closed_rate in
       match Redundant.map ~prng ~algorithm:`Hybrid fm defects with
-      | Some placement ->
-        incr hits;
-        if not (Redundant.verify fm defects placement) then all_valid := false
-      | None -> ()
-    done;
+      | Some placement -> (true, Redundant.verify fm defects placement)
+      | None -> (false, true)
+    in
+    let hits, all_valid =
+      Pool.map_reduce pool ~n:samples ~map:trial ~init:(0, true)
+        ~fold:(fun (hits, ok) (hit, valid) ->
+          ((if hit then hits + 1 else hits), ok && valid))
+    in
     {
       spares;
       area = rows * cols;
       area_overhead =
         100. *. (float_of_int (rows * cols) /. float_of_int optimum_area -. 1.);
-      psucc = 100. *. float_of_int !hits /. float_of_int samples;
-      all_valid = !all_valid;
+      psucc = 100. *. float_of_int hits /. float_of_int samples;
+      all_valid;
     }
   in
   { benchmark; open_rate; closed_rate; samples; points = List.map point spare_levels }

@@ -26,6 +26,7 @@ type sweep = {
 }
 
 val run :
+  ?pool:Mcx_util.Pool.t ->
   ?samples:int ->
   ?spare_levels:int list ->
   ?open_rate:float ->
@@ -34,6 +35,9 @@ val run :
   benchmark:string ->
   unit ->
   sweep
-(** Defaults: 100 samples, spares [0;1;2;3;4], 5% open, 1% closed. *)
+(** Defaults: 100 samples, spares [0;1;2;3;4], 5% open, 1% closed.
+    Trials run on [pool] (default {!Mcx_util.Pool.default}); each trial's
+    stream is derived from [(seed, config, trial index)], so results are
+    identical at any job count. *)
 
 val to_table : sweep -> Mcx_util.Texttable.t

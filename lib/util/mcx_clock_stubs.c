@@ -1,0 +1,13 @@
+/* Monotonic clock for the runtime columns: Unix.gettimeofday is subject
+   to NTP steps, which can make a timed interval negative or inflated. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value mcx_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

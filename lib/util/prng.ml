@@ -11,13 +11,48 @@ let splitmix64_next state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
-let create seed =
-  let state = ref (Int64.of_int seed) in
+let of_int64 bits =
+  let state = ref bits in
   let s0 = splitmix64_next state in
   let s1 = splitmix64_next state in
   let s2 = splitmix64_next state in
   let s3 = splitmix64_next state in
   { s0; s1; s2; s3 }
+
+let create seed = of_int64 (Int64.of_int seed)
+
+module Key = struct
+  type t = int64
+
+  (* splitmix64's finalizer: a bijective avalanche over the full 64 bits. *)
+  let finalize z =
+    let open Int64 in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  (* For a fixed accumulator [t], [feed t] is a bijection in [v]
+     (odd multiply, add and finalize are all invertible), so two keys that
+     differ in one mixed-in component can never collide. *)
+  let feed t v =
+    let open Int64 in
+    finalize (add (mul t 0xFF51AFD7ED558CCDL) (add v 0x9E3779B97F4A7C15L))
+
+  let root seed = feed 0x4D43582D4B455921L (* "MCX-KEY!" *) (Int64.of_int seed)
+  let int t i = feed t (Int64.of_int i)
+  let float t f = feed t (Int64.bits_of_float f)
+
+  let string t s =
+    (* Fold every byte, then the length so "ab"+"c" <> "a"+"bc". *)
+    let h = ref t in
+    String.iter (fun c -> h := feed !h (Int64.of_int (Char.code c))) s;
+    int !h (String.length s)
+
+  let to_int64 t = t
+end
+
+let of_key key = of_int64 (Key.to_int64 key)
+let derive key index = of_key (Key.int key index)
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
@@ -53,7 +88,11 @@ let int t bound =
   let rec draw () =
     let raw = Int64.shift_right_logical (bits64 t) 1 in
     let v = Int64.rem raw bound64 in
-    if Int64.sub raw v > Int64.sub (Int64.sub Int64.max_int bound64) 1L then draw ()
+    (* [raw - v] is the start of raw's residue group. Accept iff the whole
+       group [start, start + bound) fits below 2^63, i.e. iff
+       start <= max_int - bound + 1; rejecting more over-discards complete
+       groups, rejecting less would re-admit the truncated top group. *)
+    if Int64.sub raw v > Int64.add (Int64.sub Int64.max_int bound64) 1L then draw ()
     else Int64.to_int v
   in
   draw ()

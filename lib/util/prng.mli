@@ -12,6 +12,41 @@ val create : int -> t
 (** [create seed] builds a generator from a 63-bit seed. Equal seeds yield
     equal streams. *)
 
+(** Structured 64-bit seeding keys.
+
+    Experiments derive one generator per Monte Carlo trial from
+    [(seed, experiment key, trial index)] alone, so a trial's stream never
+    depends on evaluation order or scheduling — the property the parallel
+    {!Pool} relies on for bit-identical output at any job count.
+
+    Keys replace the historical [Prng.create (Hashtbl.hash (...))] idiom:
+    [Hashtbl.hash] keeps only 30 bits, traverses large tuples partially
+    and may change across OCaml versions, so distinct configurations could
+    silently collide onto one stream. Mixing here is a full-width
+    splitmix64-style avalanche, and for a fixed prefix key each [int] /
+    [float] / [string] step is injective in the mixed-in value. *)
+module Key : sig
+  type t
+
+  val root : int -> t
+  (** Key of a master seed. *)
+
+  val int : t -> int -> t
+  val float : t -> float -> t
+  val string : t -> string -> t
+
+  val to_int64 : t -> int64
+  (** The mixed 64-bit value (exposed for tests and logging). *)
+end
+
+val of_key : Key.t -> t
+(** [of_key k] builds a generator whose stream depends on every component
+    mixed into [k]. *)
+
+val derive : Key.t -> int -> t
+(** [derive k i] is [of_key (Key.int k i)]: the generator of trial [i]
+    under experiment key [k]. Distinct indices yield distinct streams. *)
+
 val split : t -> t
 (** [split t] returns a new generator whose stream is statistically
     independent of [t]'s future output. [t] is advanced. Used to give each

@@ -80,7 +80,7 @@ let params =
     n_outputs = 4;
     n_products = 58;
     inclusion_ratio = 29.;
-    seed = 42;
+    seed = "42";
     skew = 0.;
   }
 
@@ -112,7 +112,7 @@ let test_synthetic_every_output_covered () =
 let test_synthetic_deterministic () =
   let a = Synthetic.generate params and b = Synthetic.generate params in
   Alcotest.(check bool) "same seed, same cover" true (Mo_cover.equal_semantics a b);
-  let c = Synthetic.generate { params with seed = 43 } in
+  let c = Synthetic.generate { params with seed = "43" } in
   Alcotest.(check bool) "different seed differs somewhere" true
     (Mo_cover.product_count c <> Mo_cover.product_count a
     || Pla.to_string c <> Pla.to_string a)

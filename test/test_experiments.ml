@@ -167,6 +167,29 @@ let test_yield_sweep () =
   Alcotest.(check bool) "overhead grows" true
     (last.Yield.area_overhead > first.Yield.area_overhead)
 
+let test_yield_parallel_deterministic () =
+  (* The determinism contract of the Monte Carlo engine: the rendered
+     sweep (tables and CSV alike go through Texttable) must be identical
+     whether the trials run on one domain or four. *)
+  let run pool =
+    let sweep =
+      Yield.run ~pool ~samples:30 ~spare_levels:[ 0; 1; 2 ] ~open_rate:0.05
+        ~closed_rate:0.01 ~seed:11 ~benchmark:"rd53" ()
+    in
+    Mcx_util.Texttable.to_csv (Yield.to_table sweep)
+  in
+  let seq_pool = Mcx_util.Pool.create ~jobs:1 () in
+  let par_pool = Mcx_util.Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Mcx_util.Pool.shutdown seq_pool;
+      Mcx_util.Pool.shutdown par_pool)
+    (fun () ->
+      let sequential = run seq_pool and parallel = run par_pool in
+      Alcotest.(check string) "MCX_JOBS=4 byte-identical to sequential"
+        sequential parallel;
+      Alcotest.(check string) "re-running is stable" sequential (run par_pool))
+
 let test_yield_closed_defects_need_redundancy () =
   (* With closed defects and zero spares, yield should be clearly below
      100%; the paper says tolerance is impossible whenever one lands in
@@ -344,6 +367,8 @@ let () =
       ( "yield",
         [
           Alcotest.test_case "sweep" `Quick test_yield_sweep;
+          Alcotest.test_case "parallel deterministic" `Quick
+            test_yield_parallel_deterministic;
           Alcotest.test_case "closed defects need redundancy" `Quick
             test_yield_closed_defects_need_redundancy;
         ] );

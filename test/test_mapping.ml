@@ -28,6 +28,33 @@ let test_munkres_rectangular () =
   Alcotest.(check int) "picks the zeros" 0 total;
   Alcotest.(check (array int)) "assignment" [| 1; 2 |] assignment
 
+let test_munkres_empty () =
+  let total, assignment = Munkres.solve [||] in
+  Alcotest.(check int) "zero cost" 0 total;
+  Alcotest.(check (array int)) "empty assignment" [||] assignment
+
+let test_munkres_single_row () =
+  let total, assignment = Munkres.solve [| [| 3; 1; 2 |] |] in
+  Alcotest.(check int) "min of the row" 1 total;
+  Alcotest.(check (array int)) "picks the cheapest column" [| 1 |] assignment
+
+let test_munkres_all_zero () =
+  let cost = Array.make_matrix 3 5 0 in
+  let total, assignment = Munkres.solve cost in
+  Alcotest.(check int) "all-zero total" 0 total;
+  Alcotest.(check int) "columns distinct" 3
+    (List.length (List.sort_uniq compare (Array.to_list assignment)));
+  Array.iter
+    (fun j -> Alcotest.(check bool) "column in range" true (j >= 0 && j < 5))
+    assignment
+
+let test_munkres_rejects_empty_rows () =
+  Alcotest.(check bool) "1x0 rejected" true
+    (try
+       ignore (Munkres.solve [| [||] |]);
+       false
+     with Invalid_argument _ -> true)
+
 let test_munkres_infeasible_zero () =
   let cost = [| [| 1; 1 |]; [| 1; 0 |] |] in
   Alcotest.(check bool) "no zero assignment" true (Munkres.feasible_zero cost = None)
@@ -216,6 +243,36 @@ let test_hybrid_backtracking_needed () =
       (Matching.check_assignment ~fm:fm.Function_matrix.matrix ~cm a)
   | None -> Alcotest.fail "hybrid should succeed via backtracking");
   Alcotest.(check bool) "backtracking was exercised" true (stats.Hybrid.backtracks >= 1)
+
+let test_hybrid_stats_clean () =
+  (* On a defect-free crossbar every greedy placement succeeds first try,
+     so both counters must stay at zero. *)
+  let cm = clean_cm 6 10 in
+  let assignment, stats = Hybrid.map_with_stats fig7_fm cm in
+  Alcotest.(check bool) "mapped" true (assignment <> None);
+  Alcotest.(check int) "no backtracks" 0 stats.Hybrid.backtracks;
+  Alcotest.(check int) "no relocations" 0 stats.Hybrid.relocations
+
+let test_hybrid_stats_relocation_counted () =
+  (* The rigged instance from test_hybrid_backtracking_needed: one product
+     must be relocated, so relocations >= 1 and backtracks >= 1. *)
+  let f =
+    Mo_cover.create ~n_inputs:2 ~n_outputs:1
+      [
+        { Mo_cover.cube = Cube.of_string "1-"; outputs = [| true |] };
+        { Mo_cover.cube = Cube.of_string "11"; outputs = [| true |] };
+      ]
+  in
+  let fm = Function_matrix.build f in
+  let cm = clean_cm 3 6 in
+  Bmatrix.set cm 1 1 false;
+  Bmatrix.set cm 2 0 false;
+  let assignment, stats = Hybrid.map_with_stats fm cm in
+  Alcotest.(check bool) "mapped" true (assignment <> None);
+  Alcotest.(check bool) "backtracks counted" true (stats.Hybrid.backtracks >= 1);
+  Alcotest.(check bool) "relocations counted" true (stats.Hybrid.relocations >= 1);
+  Alcotest.(check bool) "relocations within backtrack attempts" true
+    (stats.Hybrid.relocations <= stats.Hybrid.backtracks * Bmatrix.rows cm)
 
 let test_hybrid_incomplete_vs_exact () =
   (* A case where depth-1 backtracking fails but a full assignment exists:
@@ -493,6 +550,10 @@ let () =
           Alcotest.test_case "identity" `Quick test_munkres_identity;
           Alcotest.test_case "classic" `Quick test_munkres_classic;
           Alcotest.test_case "rectangular" `Quick test_munkres_rectangular;
+          Alcotest.test_case "empty" `Quick test_munkres_empty;
+          Alcotest.test_case "single row" `Quick test_munkres_single_row;
+          Alcotest.test_case "all zero" `Quick test_munkres_all_zero;
+          Alcotest.test_case "rejects empty rows" `Quick test_munkres_rejects_empty_rows;
           Alcotest.test_case "infeasible zero" `Quick test_munkres_infeasible_zero;
           Alcotest.test_case "rejects tall" `Quick test_munkres_rejects_tall;
         ] );
@@ -509,6 +570,8 @@ let () =
           Alcotest.test_case "hybrid avoids defects (fig7)" `Quick test_hybrid_avoids_defects;
           Alcotest.test_case "exact vs brute (fig7)" `Quick test_exact_agrees_with_brute_force_fig7;
           Alcotest.test_case "backtracking exercised" `Quick test_hybrid_backtracking_needed;
+          Alcotest.test_case "stats clean" `Quick test_hybrid_stats_clean;
+          Alcotest.test_case "stats relocation" `Quick test_hybrid_stats_relocation_counted;
           Alcotest.test_case "hybrid never invalid" `Quick test_hybrid_incomplete_vs_exact;
         ] );
       ( "integration",

@@ -55,6 +55,36 @@ let test_prng_uniformity () =
         (abs (c - expected) < expected / 10))
     counts
 
+(* Chi-square goodness of fit against the uniform distribution, for small
+   bounds where the rejection-sampling acceptance region matters. The old
+   bound check over-rejected the top two residue groups; with 64-bit draws
+   the bias was unobservably small, but the chi-square statistic pins the
+   distribution down far more tightly than the 10%-per-bucket check above. *)
+let test_prng_chi_square () =
+  (* (bound, p=0.001 critical value for df = bound - 1) *)
+  let cases = [ (7, 22.46); (10, 27.88); (13, 32.91) ] in
+  List.iter
+    (fun (bound, critical) ->
+      let g = Prng.create (31 + bound) in
+      let draws = 100_000 in
+      let counts = Array.make bound 0 in
+      for _ = 1 to draws do
+        let v = Prng.int g bound in
+        counts.(v) <- counts.(v) + 1
+      done;
+      let expected = float_of_int draws /. float_of_int bound in
+      let chi2 =
+        Array.fold_left
+          (fun acc c ->
+            let d = float_of_int c -. expected in
+            acc +. ((d *. d) /. expected))
+          0. counts
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "chi2 %.2f < %.2f for bound %d" chi2 critical bound)
+        true (chi2 < critical))
+    cases
+
 let test_bernoulli_bias () =
   let g = Prng.create 3 in
   let hits = ref 0 in
@@ -237,6 +267,118 @@ let test_sample_edges () =
        false
      with Invalid_argument _ -> true)
 
+(* --- Prng.Key --- *)
+
+let stream_prefix prng = List.init 4 (fun _ -> Prng.bits64 prng)
+
+let test_key_deterministic () =
+  let k () = Prng.Key.(float (int (string (root 42) "exp") 7) 0.1) in
+  Alcotest.(check int64) "same components, same key"
+    (Prng.Key.to_int64 (k ()))
+    (Prng.Key.to_int64 (k ()));
+  Alcotest.(check bool) "same key, same stream" true
+    (stream_prefix (Prng.of_key (k ())) = stream_prefix (Prng.of_key (k ())))
+
+let test_key_component_sensitivity () =
+  let base = Prng.Key.(string (root 42) "exp") in
+  let keys =
+    [
+      Prng.Key.to_int64 base;
+      Prng.Key.to_int64 (Prng.Key.int base 0);
+      Prng.Key.to_int64 (Prng.Key.int base 1);
+      Prng.Key.to_int64 (Prng.Key.float base 0.1);
+      Prng.Key.to_int64 (Prng.Key.float base 0.2);
+      Prng.Key.to_int64 (Prng.Key.string base "a");
+      Prng.Key.to_int64 (Prng.Key.string base "b");
+      Prng.Key.to_int64 (Prng.Key.string base "ab");
+      Prng.Key.to_int64 Prng.Key.(string (string base "a") "b");
+      Prng.Key.to_int64 (Prng.Key.string (Prng.Key.root 43) "exp");
+    ]
+  in
+  Alcotest.(check int) "all components distinguish the key" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_derive_streams_distinct () =
+  let key = Prng.Key.(string (root 7) "derive") in
+  let prefixes = List.init 16 (fun i -> stream_prefix (Prng.derive key i)) in
+  Alcotest.(check int) "16 trials, 16 streams" 16
+    (List.length (List.sort_uniq compare prefixes));
+  Alcotest.(check bool) "derive is reproducible" true
+    (stream_prefix (Prng.derive key 5) = stream_prefix (Prng.derive key 5))
+
+(* --- Pool --- *)
+
+let test_pool_map_ordered () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let result = Pool.map pool 100 (fun i -> i * i) in
+      Alcotest.(check (array int)) "index order" (Array.init 100 (fun i -> i * i)) result;
+      Alcotest.(check (array int)) "empty map" [||] (Pool.map pool 0 (fun i -> i)))
+
+let test_pool_map_reduce_order () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let concat =
+        Pool.map_reduce pool ~n:20 ~map:string_of_int ~init:""
+          ~fold:(fun acc s -> acc ^ "," ^ s)
+      in
+      let expected =
+        List.fold_left (fun acc s -> acc ^ "," ^ s) ""
+          (List.init 20 string_of_int)
+      in
+      Alcotest.(check string) "fold in index order" expected concat)
+
+let test_pool_matches_sequential () =
+  let seq = Pool.create ~jobs:1 () in
+  let par = Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown seq; Pool.shutdown par)
+    (fun () ->
+      let key = Prng.Key.(string (root 3) "pool-test") in
+      let trial i = Prng.bits64 (Prng.derive key i) in
+      Alcotest.(check bool) "jobs=1 equals jobs=4" true
+        (Pool.map seq 257 trial = Pool.map par 257 trial))
+
+let test_pool_exception () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check bool) "exception propagates" true
+        (try
+           ignore (Pool.map pool 50 (fun i -> if i = 37 then failwith "boom" else i));
+           false
+         with Failure msg -> msg = "boom");
+      (* the pool survives a failed batch *)
+      Alcotest.(check (array int)) "usable after failure" [| 0; 1; 2 |]
+        (Pool.map pool 3 Fun.id))
+
+let test_pool_nested () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      (* a nested map from inside a worker must fall back to inline
+         execution rather than deadlock waiting on occupied workers *)
+      let result =
+        Pool.map pool 8 (fun i ->
+            Array.fold_left ( + ) 0 (Pool.map pool 5 (fun j -> (10 * i) + j)))
+      in
+      let expected = Array.init 8 (fun i -> (50 * i) + 10) in
+      Alcotest.(check (array int)) "nested map inline" expected result)
+
+let test_pool_jobs () =
+  Alcotest.(check bool) "default_jobs positive" true (Pool.default_jobs () > 0);
+  let pool = Pool.create ~jobs:1 () in
+  Alcotest.(check int) "jobs=1" 1 (Pool.jobs pool);
+  Alcotest.(check (array int)) "jobs=1 map" [| 0; 1; 2; 3 |] (Pool.map pool 4 Fun.id);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *)
+
 (* --- Timing --- *)
 
 let test_timing () =
@@ -264,6 +406,7 @@ let () =
           Alcotest.test_case "int invalid" `Quick test_prng_int_invalid;
           Alcotest.test_case "float range" `Quick test_prng_float_range;
           Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "chi-square uniformity" `Quick test_prng_chi_square;
           Alcotest.test_case "bernoulli bias" `Quick test_bernoulli_bias;
           Alcotest.test_case "int_in_range" `Quick test_int_in_range;
           Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
@@ -295,6 +438,21 @@ let () =
           Alcotest.test_case "csv" `Quick test_table_csv;
           Alcotest.test_case "arity" `Quick test_table_arity;
           Alcotest.test_case "center align & errors" `Quick test_table_center_align;
+        ] );
+      ( "key",
+        [
+          Alcotest.test_case "deterministic" `Quick test_key_deterministic;
+          Alcotest.test_case "component sensitivity" `Quick test_key_component_sensitivity;
+          Alcotest.test_case "derive distinct" `Quick test_derive_streams_distinct;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map ordered" `Quick test_pool_map_ordered;
+          Alcotest.test_case "map_reduce order" `Quick test_pool_map_reduce_order;
+          Alcotest.test_case "parallel = sequential" `Quick test_pool_matches_sequential;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "nested map" `Quick test_pool_nested;
+          Alcotest.test_case "jobs" `Quick test_pool_jobs;
         ] );
       ("timing", [ Alcotest.test_case "time" `Quick test_timing ]);
     ]
