@@ -1,4 +1,14 @@
-type t = { rows : int; cols : int; data : Bytes.t }
+(* Alongside the byte-per-junction defect grid we maintain a bit-packed
+   mask of the stuck-closed cells, kept in sync by [set].  The row/column
+   kill checks of the mapping path (a stuck-closed junction poisons its
+   whole line) then run word-parallel instead of scanning bytes. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  data : Bytes.t;
+  closed : Mcx_util.Bmatrix.t;  (* bit set iff the junction is stuck-closed *)
+}
 
 let code = function
   | Junction.Functional -> '\000'
@@ -12,7 +22,12 @@ let decode = function
 
 let create ~rows ~cols =
   if rows < 0 || cols < 0 then invalid_arg "Defect_map.create: negative dimension";
-  { rows; cols; data = Bytes.make (rows * cols) '\000' }
+  {
+    rows;
+    cols;
+    data = Bytes.make (rows * cols) '\000';
+    closed = Mcx_util.Bmatrix.create ~rows ~cols false;
+  }
 
 let rows t = t.rows
 let cols t = t.cols
@@ -27,7 +42,8 @@ let get t i j =
 
 let set t i j d =
   check t i j "set";
-  Bytes.unsafe_set t.data ((i * t.cols) + j) (code d)
+  Bytes.unsafe_set t.data ((i * t.cols) + j) (code d);
+  Mcx_util.Bmatrix.set t.closed i j (Junction.defect_equal d Junction.Stuck_closed)
 
 let random prng ~rows ~cols ~open_rate ~closed_rate =
   if open_rate < 0. || closed_rate < 0. || open_rate +. closed_rate > 1. then
@@ -48,15 +64,15 @@ let count t d =
   Bytes.iter (fun c -> if c = target then incr n) t.data;
   !n
 
+let closed_mask t = t.closed
+
 let row_has_closed t i =
   if i < 0 || i >= t.rows then invalid_arg "Defect_map.row_has_closed";
-  let rec go j = j < t.cols && (Junction.defect_equal (get t i j) Junction.Stuck_closed || go (j + 1)) in
-  go 0
+  Mcx_util.Bmatrix.row_nonzero t.closed i
 
 let col_has_closed t j =
   if j < 0 || j >= t.cols then invalid_arg "Defect_map.col_has_closed";
-  let rec go i = i < t.rows && (Junction.defect_equal (get t i j) Junction.Stuck_closed || go (i + 1)) in
-  go 0
+  Mcx_util.Bmatrix.count_col t.closed j > 0
 
 let usable_rows t =
   List.filter (fun i -> not (row_has_closed t i)) (List.init t.rows Fun.id)
@@ -64,7 +80,7 @@ let usable_rows t =
 let usable_cols t =
   List.filter (fun j -> not (col_has_closed t j)) (List.init t.cols Fun.id)
 
-let copy t = { t with data = Bytes.copy t.data }
+let copy t = { t with data = Bytes.copy t.data; closed = Mcx_util.Bmatrix.copy t.closed }
 
 let pp ppf t =
   for i = 0 to t.rows - 1 do

@@ -27,7 +27,13 @@ val row_has_closed : t -> int -> bool
 val col_has_closed : t -> int -> bool
 (** A stuck-closed junction forces its whole horizontal line to evaluate to
     logic 1 and poisons its vertical line, so these lines are unusable
-    (paper §IV.A). *)
+    (paper §IV.A). Word-parallel over the packed stuck-closed mask. *)
+
+val closed_mask : t -> Mcx_util.Bmatrix.t
+(** The bit-packed stuck-closed mask, maintained incrementally by {!set}.
+    One bit per junction; treat as read-only — mutating it desynchronizes
+    the map. Lets callers combine line-kill checks with their own masks
+    word-parallel (see [Redundant.restricted_cm]). *)
 
 val usable_rows : t -> int list
 val usable_cols : t -> int list

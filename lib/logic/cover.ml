@@ -17,7 +17,15 @@ let size t = List.length t.cubes
 let literal_count t = List.fold_left (fun acc c -> acc + Cube.num_literals c) 0 t.cubes
 let is_empty t = t.cubes = []
 
-let eval t v = List.exists (fun c -> Cube.eval c v) t.cubes
+let eval t v =
+  match t.cubes with
+  | [] -> false
+  | cubes ->
+    (* Same error behaviour as evaluating cube-by-cube, but the assignment
+       is packed once and shared across the whole cover. *)
+    if Array.length v <> t.arity then invalid_arg "Cube.eval: arity mismatch";
+    let packed = Cube.pack_assignment v in
+    List.exists (fun c -> Cube.eval_packed c packed) cubes
 
 let add_cube t c =
   if Cube.arity c <> t.arity then invalid_arg "Cover.add_cube: arity mismatch";

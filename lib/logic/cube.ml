@@ -1,152 +1,65 @@
-type t = Literal.t array
-(* Invariant: never mutated after construction; all exported operations copy. *)
+(* A cube is a [Cube_packed.t]: two packed word masks (care / polarity).
+   This module keeps the Literal-level API and the handful of enumeration
+   helpers (sharp, minterms) that are clearer — and cold enough — at the
+   per-variable level; everything hot delegates to the packed kernels. *)
 
-let universe n =
-  if n < 0 then invalid_arg "Cube.universe: negative arity";
-  Array.make n Literal.Absent
+type t = Cube_packed.t
 
-let of_literals a = Array.copy a
+let universe = Cube_packed.universe
+let of_literals = Cube_packed.of_literals
 
-let of_string s = Array.init (String.length s) (fun i -> Literal.of_char s.[i])
+let of_string s = Cube_packed.make ~arity:(String.length s) ~f:(fun i -> Literal.of_char s.[i])
 
-let to_string c = String.init (Array.length c) (fun i -> Literal.to_char c.(i))
+let to_string c = String.init (Cube_packed.arity c) (fun i -> Literal.to_char (Cube_packed.get c i))
 
-let arity = Array.length
-
-let get c i =
-  if i < 0 || i >= Array.length c then invalid_arg "Cube.get: variable out of range";
-  c.(i)
-
-let set c i l =
-  if i < 0 || i >= Array.length c then invalid_arg "Cube.set: variable out of range";
-  let c' = Array.copy c in
-  c'.(i) <- l;
-  c'
-
-let literals c =
-  let acc = ref [] in
-  for i = Array.length c - 1 downto 0 do
-    if not (Literal.equal c.(i) Literal.Absent) then acc := (i, c.(i)) :: !acc
-  done;
-  !acc
-
-let num_literals c =
-  Array.fold_left
-    (fun n l -> if Literal.equal l Literal.Absent then n else n + 1)
-    0 c
-
-let is_minterm c = num_literals c = Array.length c
-
-let equal a b = Array.length a = Array.length b && Array.for_all2 Literal.equal a b
-
-let compare a b =
-  let la = Array.length a and lb = Array.length b in
-  if la <> lb then Int.compare la lb
-  else begin
-    let rec go i =
-      if i = la then 0
-      else
-        let c = Literal.compare a.(i) b.(i) in
-        if c <> 0 then c else go (i + 1)
-    in
-    go 0
-  end
-
-let hash c = Hashtbl.hash (to_string c)
-
-let check_arity name c v =
-  if Array.length c <> Array.length v then
-    invalid_arg (Printf.sprintf "Cube.%s: arity mismatch" name)
-
-let eval c v =
-  check_arity "eval" c v;
-  let rec go i = i = Array.length c || (Literal.matches c.(i) v.(i) && go (i + 1)) in
-  go 0
-
-let covers a b =
-  Array.length a = Array.length b
-  &&
-  let rec go i = i = Array.length a || (Literal.covers a.(i) b.(i) && go (i + 1)) in
-  go 0
-
-let intersect a b =
-  if Array.length a <> Array.length b then invalid_arg "Cube.intersect: arity mismatch";
-  let out = Array.make (Array.length a) Literal.Absent in
-  let rec go i =
-    if i = Array.length a then Some out
-    else
-      match Literal.intersect a.(i) b.(i) with
-      | None -> None
-      | Some l ->
-        out.(i) <- l;
-        go (i + 1)
-  in
-  go 0
-
-let distance a b =
-  if Array.length a <> Array.length b then invalid_arg "Cube.distance: arity mismatch";
-  let d = ref 0 in
-  for i = 0 to Array.length a - 1 do
-    match (a.(i), b.(i)) with
-    | Literal.Pos, Literal.Neg | Literal.Neg, Literal.Pos -> incr d
-    | (Literal.Pos | Literal.Neg | Literal.Absent), _ -> ()
-  done;
-  !d
-
-let supercube a b =
-  if Array.length a <> Array.length b then invalid_arg "Cube.supercube: arity mismatch";
-  Array.init (Array.length a) (fun i ->
-      if Literal.equal a.(i) b.(i) then a.(i) else Literal.Absent)
-
-let cofactor c ~var ~value =
-  let required = if value then Literal.Pos else Literal.Neg in
-  match get c var with
-  | Literal.Absent -> Some (Array.copy c)
-  | l when Literal.equal l required -> Some (set c var Literal.Absent)
-  | Literal.Pos | Literal.Neg -> None
-
-let complement_literals c = Array.map Literal.complement c
-
-let merge_adjacent a b =
-  if Array.length a <> Array.length b then invalid_arg "Cube.merge_adjacent: arity mismatch";
-  let diff = ref None in
-  let ok = ref true in
-  for i = 0 to Array.length a - 1 do
-    if !ok && not (Literal.equal a.(i) b.(i)) then begin
-      match (a.(i), b.(i), !diff) with
-      | Literal.Pos, Literal.Neg, None | Literal.Neg, Literal.Pos, None -> diff := Some i
-      | _, _, _ -> ok := false
-    end
-  done;
-  match (!ok, !diff) with
-  | true, Some i -> Some (set a i Literal.Absent)
-  | true, None | false, _ -> None
+let arity = Cube_packed.arity
+let get = Cube_packed.get
+let set = Cube_packed.set
+let literals = Cube_packed.literals
+let num_literals = Cube_packed.num_literals
+let is_minterm = Cube_packed.is_minterm
+let equal = Cube_packed.equal
+let compare = Cube_packed.compare
+let hash = Cube_packed.hash
+let eval = Cube_packed.eval
+let pack_assignment = Cube_packed.pack_assignment
+let eval_packed = Cube_packed.eval_packed
+let covers = Cube_packed.covers
+let intersect = Cube_packed.intersect
+let distance = Cube_packed.distance
+let supercube = Cube_packed.supercube
+let cofactor = Cube_packed.cofactor
+let cofactor_wrt = Cube_packed.cofactor_wrt
+let complement_literals = Cube_packed.complement_literals
+let merge_adjacent = Cube_packed.merge_adjacent
 
 let sharp a b =
-  if Array.length a <> Array.length b then invalid_arg "Cube.sharp: arity mismatch";
+  if arity a <> arity b then invalid_arg "Cube.sharp: arity mismatch";
   match intersect a b with
-  | None -> [ Array.copy a ]
+  | None -> [ a ]
   | Some _ ->
     (* Disjoint-sharp recurrence: walk the variables where b constrains a
        more tightly; each produces one cube of the difference, with the
        earlier variables pinned to b's values to keep the cubes disjoint. *)
+    let a_arr = Cube_packed.to_array a and b_arr = Cube_packed.to_array b in
     let out = ref [] in
-    let pinned = Array.copy a in
-    for i = 0 to Array.length a - 1 do
-      (match (a.(i), b.(i)) with
+    let pinned = Array.copy a_arr in
+    for i = 0 to Array.length a_arr - 1 do
+      (match (a_arr.(i), b_arr.(i)) with
       | Literal.Absent, (Literal.Pos | Literal.Neg) ->
         let piece = Array.copy pinned in
-        piece.(i) <- Literal.complement b.(i);
-        out := piece :: !out;
-        pinned.(i) <- b.(i)
+        piece.(i) <- Literal.complement b_arr.(i);
+        out := of_literals piece :: !out;
+        pinned.(i) <- b_arr.(i)
       | (Literal.Pos | Literal.Neg | Literal.Absent), _ -> ())
     done;
     List.rev !out
 
 let minterms c =
-  let n = Array.length c in
-  let free = List.filter (fun i -> Literal.equal c.(i) Literal.Absent) (List.init n Fun.id) in
-  let base = Array.map (function Literal.Pos -> true | Literal.Neg | Literal.Absent -> false) c in
+  let n = arity c in
+  let lits = Cube_packed.to_array c in
+  let free = List.filter (fun i -> Literal.equal lits.(i) Literal.Absent) (List.init n Fun.id) in
+  let base = Array.map (function Literal.Pos -> true | Literal.Neg | Literal.Absent -> false) lits in
   let rec expand vars acc =
     match vars with
     | [] -> [ Array.copy acc ]

@@ -1,9 +1,14 @@
 (** Cubes (product terms) over a fixed set of input variables.
 
     A cube is a conjunction of literals; it is the unit the paper maps onto
-    one horizontal crossbar line. Cubes are immutable. *)
+    one horizontal crossbar line. Cubes are immutable.
 
-type t
+    The representation is {!Cube_packed}: two bit masks (care / polarity)
+    packed into native words, so containment, intersection and tautology
+    cofactoring are word-parallel. This module adds the Literal-level and
+    string-level API on top. *)
+
+type t = Cube_packed.t
 
 val universe : int -> t
 (** [universe n] is the cube over [n] variables with no literals (constant
@@ -39,11 +44,20 @@ val is_minterm : t -> bool
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
 val hash : t -> int
+(** Mixes the packed words directly — no per-call string allocation. *)
 
 val eval : t -> bool array -> bool
 (** [eval c v] evaluates the conjunction on the assignment [v].
     @raise Invalid_argument on arity mismatch. *)
+
+val pack_assignment : bool array -> int array
+(** Pack an assignment once for repeated {!eval_packed} calls over the
+    cubes of a cover. *)
+
+val eval_packed : t -> int array -> bool
+(** Evaluate against a packed assignment of at least the cube's arity. *)
 
 val covers : t -> t -> bool
 (** [covers a b]: every minterm of [b] is a minterm of [a]. *)
@@ -62,6 +76,12 @@ val cofactor : t -> var:int -> value:bool -> t option
 (** Shannon cofactor of the cube with respect to a variable value. [None] if
     the cube requires the opposite value (cofactor is empty); otherwise the
     cube with that variable freed. *)
+
+val cofactor_wrt : t -> t -> t option
+(** [cofactor_wrt g c]: [g] with every literal fixed by [c] removed; [None]
+    when the cubes conflict. Word-parallel — the inner loop of the
+    unate-recursive tautology check. @raise Invalid_argument on arity
+    mismatch. *)
 
 val complement_literals : t -> t
 (** Complement every literal in place-wise fashion (used when negating

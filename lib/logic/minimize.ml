@@ -35,22 +35,10 @@ let irredundant f =
   Cover.create ~arity:n (sweep [] cubes)
 
 (* Cofactor a cover with respect to a cube: the cover's behaviour inside the
-   cube's subspace, expressed over the free variables. *)
+   cube's subspace, expressed over the free variables. Word-parallel. *)
 let cofactor_wrt_cube f c =
-  let n = Cover.arity f in
-  let cofactor_one g =
-    match Cube.intersect g c with
-    | None -> None
-    | Some _ ->
-      let out = Array.make n Literal.Absent in
-      for i = 0 to n - 1 do
-        match Cube.get c i with
-        | Literal.Absent -> out.(i) <- Cube.get g i
-        | Literal.Pos | Literal.Neg -> ()
-      done;
-      Some (Cube.of_literals out)
-  in
-  Cover.create ~arity:n (List.filter_map cofactor_one (Cover.cubes f))
+  Cover.create ~arity:(Cover.arity f)
+    (List.filter_map (fun g -> Cube.cofactor_wrt g c) (Cover.cubes f))
 
 let reduce f =
   let n = Cover.arity f in

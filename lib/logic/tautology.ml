@@ -26,26 +26,10 @@ let rec check f =
 
 let cube_covered c f =
   if Cube.arity c <> Cover.arity f then invalid_arg "Tautology.cube_covered: arity mismatch";
-  (* Cofactor f with respect to cube c, then test tautology. *)
+  (* Cofactor f with respect to cube c (drop literals fixed by c, discard
+     conflicting cubes — a couple of word ops each), then test tautology. *)
   let n = Cover.arity f in
-  let cofactor_cube g =
-    match Cube.intersect g c with
-    | None -> None
-    | Some _ ->
-      (* Remove from g every literal fixed by c (they are satisfied inside
-         c's subspace); conflicts were ruled out by the intersection test. *)
-      let out = Array.make n Literal.Absent in
-      let ok = ref true in
-      for i = 0 to n - 1 do
-        match (Cube.get c i, Cube.get g i) with
-        | Literal.Absent, l -> out.(i) <- l
-        | (Literal.Pos | Literal.Neg), Literal.Absent -> ()
-        | Literal.Pos, Literal.Pos | Literal.Neg, Literal.Neg -> ()
-        | Literal.Pos, Literal.Neg | Literal.Neg, Literal.Pos -> ok := false
-      done;
-      if !ok then Some (Cube.of_literals out) else None
-  in
-  let cofactored = List.filter_map cofactor_cube (Cover.cubes f) in
+  let cofactored = List.filter_map (fun g -> Cube.cofactor_wrt g c) (Cover.cubes f) in
   check (Cover.create ~arity:n cofactored)
 
 let cover_covered f g = List.for_all (fun c -> cube_covered c g) (Cover.cubes f)

@@ -10,13 +10,7 @@ type params = {
 let default_params =
   { initial_temperature = 2.0; cooling = 0.95; sweeps = 60; moves_per_sweep = 0 }
 
-let row_cost ~fm ~cm fm_row cm_row =
-  let cols = Bmatrix.cols fm in
-  let bad = ref 0 in
-  for j = 0 to cols - 1 do
-    if Bmatrix.get fm fm_row j && not (Bmatrix.get cm cm_row j) then incr bad
-  done;
-  !bad
+let row_cost ~fm ~cm fm_row cm_row = Bmatrix.row_diff_count fm fm_row cm cm_row
 
 let cost ~fm ~cm assignment =
   let total = ref 0 in

@@ -18,11 +18,9 @@ let cm_of_defects defects =
 let row_matches ~fm ~fm_row ~cm ~cm_row =
   if Bmatrix.cols fm <> Bmatrix.cols cm then
     invalid_arg "Matching.row_matches: column count mismatch";
-  let cols = Bmatrix.cols fm in
-  let rec go j =
-    j = cols || ((not (Bmatrix.get fm fm_row j)) || Bmatrix.get cm cm_row j) && go (j + 1)
-  in
-  go 0
+  (* FM row fits a crossbar row iff its programmed cells are a subset of
+     the functional cells — one AND-NOT per word. *)
+  Bmatrix.row_subset fm fm_row cm cm_row
 
 let matching_matrix ~fm ~fm_rows ~cm ~cm_rows =
   let cm_rows = Array.of_list cm_rows in

@@ -12,16 +12,13 @@ let restricted_cm defects chosen =
   let rows = Defect_map.rows defects in
   let cols = Array.length chosen in
   let cm = Bmatrix.create ~rows ~cols false in
-  let row_blocked = Array.make rows false in
+  (* Row kill check: a row is struck out when the packed stuck-closed mask
+     intersects the chosen-column mask — one AND per word per row. *)
+  let chosen_mask = Bmatrix.create ~rows:1 ~cols:(Defect_map.cols defects) false in
+  Array.iter (fun c -> Bmatrix.set chosen_mask 0 c true) chosen;
+  let closed = Defect_map.closed_mask defects in
   for r = 0 to rows - 1 do
-    Array.iter
-      (fun c ->
-        if Junction.defect_equal (Defect_map.get defects r c) Junction.Stuck_closed then
-          row_blocked.(r) <- true)
-      chosen
-  done;
-  for r = 0 to rows - 1 do
-    if not row_blocked.(r) then
+    if not (Bmatrix.row_intersects closed r chosen_mask 0) then
       Array.iteri
         (fun j c ->
           if Junction.defect_equal (Defect_map.get defects r c) Junction.Functional then

@@ -1,0 +1,57 @@
+(* Word-level bit kernels shared by the packed cube and boolean-matrix
+   representations.  Words are native OCaml ints — [Sys.int_size] usable
+   bits (63 on 64-bit platforms) — rather than boxed [int64]: every value
+   in an [int64 array] is heap-boxed, which would put an allocation on
+   each word operation of the hot kernels. *)
+
+let word_bits = Sys.int_size
+
+let words_for n =
+  if n < 0 then invalid_arg "Bits.words_for: negative count";
+  (n + word_bits - 1) / word_bits
+
+let word_of n = n / word_bits
+let bit_of n = n mod word_bits
+
+(* Mask covering the valid bits of the last word for an [n]-bit vector:
+   all-ones when [n] is a multiple of [word_bits]. *)
+let tail_mask n =
+  let r = n mod word_bits in
+  if r = 0 then -1 else (1 lsl r) - 1
+
+(* SWAR popcount on a native word.  The 64-bit Hacker's Delight constants
+   do not fit in a 63-bit int literal, so they are assembled from 32-bit
+   halves; truncation to [int_size] bits keeps the algorithm exact because
+   every intermediate byte-sum stays below 128. *)
+let m1 = 0x55555555 lor (0x55555555 lsl 32)
+let m2 = 0x33333333 lor (0x33333333 lsl 32)
+let m4 = 0x0F0F0F0F lor (0x0F0F0F0F lsl 32)
+let h01 = 0x01010101 lor (0x01010101 lsl 32)
+
+let popcount_loop x =
+  let n = ref 0 and x = ref x in
+  while !x <> 0 do
+    x := !x land (!x - 1);
+    incr n
+  done;
+  !n
+
+let popcount x =
+  if word_bits = 63 then
+    let x = x - ((x lsr 1) land m1) in
+    let x = (x land m2) + ((x lsr 2) land m2) in
+    let x = (x + (x lsr 4)) land m4 in
+    (x * h01) lsr 56
+  else popcount_loop x (* 32-bit / jsoo fallback; never hot there *)
+
+let ctz x =
+  if x = 0 then invalid_arg "Bits.ctz: zero word"
+  else popcount ((x land -x) - 1)
+
+(* xorshift-multiply word mixer (Stafford/Vigna style), used to hash packed
+   words without going through a per-call string. The multiplier fits in a
+   62-bit positive literal. *)
+let mix h w =
+  let h = h lxor w in
+  let h = h * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)

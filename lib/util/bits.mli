@@ -1,0 +1,32 @@
+(** Word-level bit kernels for the packed representations.
+
+    Words are native OCaml ints ([Sys.int_size] usable bits — 63 on 64-bit
+    platforms), not [int64]: int64 array elements are boxed, which would
+    cost an allocation per word operation in the hot kernels. *)
+
+val word_bits : int
+(** Usable bits per word ([Sys.int_size]). *)
+
+val words_for : int -> int
+(** Number of words needed for an [n]-bit vector.
+    @raise Invalid_argument if [n < 0]. *)
+
+val word_of : int -> int
+(** Word index holding bit [n]. *)
+
+val bit_of : int -> int
+(** Bit position of bit [n] inside its word. *)
+
+val tail_mask : int -> int
+(** Mask selecting the valid bits of the last word of an [n]-bit vector;
+    all-ones when [n] is a multiple of {!word_bits}. *)
+
+val popcount : int -> int
+(** Number of set bits, branch-free SWAR. *)
+
+val ctz : int -> int
+(** Index of the lowest set bit. @raise Invalid_argument on zero. *)
+
+val mix : int -> int -> int
+(** [mix h w] folds word [w] into hash accumulator [h] with a
+    xorshift-multiply avalanche. *)

@@ -1,8 +1,27 @@
-type t = { rows : int; cols : int; data : Bytes.t }
+(* Bit-packed: one bit per cell, rows padded to a whole number of native
+   words ([Bits.word_bits] bits each).  Row-level predicates (containment,
+   intersection, counting) run word-parallel — a handful of AND/XOR/popcount
+   ops per word instead of a byte comparison per cell.
+
+   Invariant: the padding bits of every row's last word are zero, so
+   whole-word equality, popcounts and subset tests need no re-masking. *)
+
+type t = { rows : int; cols : int; wpr : int; data : int array }
 
 let create ~rows ~cols fill =
   if rows < 0 || cols < 0 then invalid_arg "Bmatrix.create: negative dimension";
-  { rows; cols; data = Bytes.make (rows * cols) (if fill then '\001' else '\000') }
+  let wpr = Bits.words_for cols in
+  let data = Array.make (rows * wpr) 0 in
+  if fill && cols > 0 then begin
+    let tail = Bits.tail_mask cols in
+    for i = 0 to rows - 1 do
+      for w = 0 to wpr - 2 do
+        data.((i * wpr) + w) <- -1
+      done;
+      data.((i * wpr) + wpr - 1) <- tail
+    done
+  end;
+  { rows; cols; wpr; data }
 
 let rows t = t.rows
 let cols t = t.cols
@@ -13,13 +32,17 @@ let check t i j name =
 
 let get t i j =
   check t i j "get";
-  Bytes.unsafe_get t.data ((i * t.cols) + j) <> '\000'
+  let w = (i * t.wpr) + Bits.word_of j in
+  (Array.unsafe_get t.data w lsr Bits.bit_of j) land 1 = 1
 
 let set t i j v =
   check t i j "set";
-  Bytes.unsafe_set t.data ((i * t.cols) + j) (if v then '\001' else '\000')
+  let w = (i * t.wpr) + Bits.word_of j in
+  let bit = 1 lsl Bits.bit_of j in
+  let word = Array.unsafe_get t.data w in
+  Array.unsafe_set t.data w (if v then word lor bit else word land lnot bit)
 
-let copy t = { t with data = Bytes.copy t.data }
+let copy t = { t with data = Array.copy t.data }
 
 let of_lists = function
   | [] -> invalid_arg "Bmatrix.of_lists: empty"
@@ -43,26 +66,108 @@ let row t i =
 
 let count t =
   let n = ref 0 in
-  Bytes.iter (fun c -> if c <> '\000' then incr n) t.data;
+  for w = 0 to Array.length t.data - 1 do
+    n := !n + Bits.popcount (Array.unsafe_get t.data w)
+  done;
   !n
 
+let check_row t i name = if i < 0 || i >= t.rows then invalid_arg ("Bmatrix." ^ name)
+
 let count_row t i =
-  if i < 0 || i >= t.rows then invalid_arg "Bmatrix.count_row";
+  check_row t i "count_row";
+  let base = i * t.wpr in
   let n = ref 0 in
-  for j = 0 to t.cols - 1 do
-    if get t i j then incr n
+  for w = 0 to t.wpr - 1 do
+    n := !n + Bits.popcount (Array.unsafe_get t.data (base + w))
   done;
   !n
 
 let count_col t j =
   if j < 0 || j >= t.cols then invalid_arg "Bmatrix.count_col";
+  let w = Bits.word_of j and b = Bits.bit_of j in
   let n = ref 0 in
   for i = 0 to t.rows - 1 do
-    if get t i j then incr n
+    n := !n + ((Array.unsafe_get t.data ((i * t.wpr) + w) lsr b) land 1)
   done;
   !n
 
-let equal a b = a.rows = b.rows && a.cols = b.cols && Bytes.equal a.data b.data
+let row_nonzero t i =
+  check_row t i "row_nonzero";
+  let base = i * t.wpr in
+  let rec go w = w < t.wpr && (Array.unsafe_get t.data (base + w) <> 0 || go (w + 1)) in
+  go 0
+
+let check_pair a i b j name =
+  check_row a i name;
+  check_row b j name;
+  if a.cols <> b.cols then invalid_arg (Printf.sprintf "Bmatrix.%s: column count mismatch" name)
+
+(* Every set cell of row [i] of [a] is also set in row [j] of [b]. *)
+let row_subset a i b j =
+  check_pair a i b j "row_subset";
+  let ba = i * a.wpr and bb = j * b.wpr in
+  let rec go w =
+    w = a.wpr
+    || Array.unsafe_get a.data (ba + w) land lnot (Array.unsafe_get b.data (bb + w)) = 0
+       && go (w + 1)
+  in
+  go 0
+
+let row_intersects a i b j =
+  check_pair a i b j "row_intersects";
+  let ba = i * a.wpr and bb = j * b.wpr in
+  let rec go w =
+    w < a.wpr
+    && (Array.unsafe_get a.data (ba + w) land Array.unsafe_get b.data (bb + w) <> 0
+        || go (w + 1))
+  in
+  go 0
+
+let row_and_count a i b j =
+  check_pair a i b j "row_and_count";
+  let ba = i * a.wpr and bb = j * b.wpr in
+  let n = ref 0 in
+  for w = 0 to a.wpr - 1 do
+    n := !n + Bits.popcount (Array.unsafe_get a.data (ba + w) land Array.unsafe_get b.data (bb + w))
+  done;
+  !n
+
+let row_or_count a i b j =
+  check_pair a i b j "row_or_count";
+  let ba = i * a.wpr and bb = j * b.wpr in
+  let n = ref 0 in
+  for w = 0 to a.wpr - 1 do
+    n := !n + Bits.popcount (Array.unsafe_get a.data (ba + w) lor Array.unsafe_get b.data (bb + w))
+  done;
+  !n
+
+(* |row i of a \ row j of b| — the annealing conflict count. *)
+let row_diff_count a i b j =
+  check_pair a i b j "row_diff_count";
+  let ba = i * a.wpr and bb = j * b.wpr in
+  let n = ref 0 in
+  for w = 0 to a.wpr - 1 do
+    n :=
+      !n
+      + Bits.popcount
+          (Array.unsafe_get a.data (ba + w) land lnot (Array.unsafe_get b.data (bb + w)))
+  done;
+  !n
+
+let is_submatrix sub sup =
+  sub.rows = sup.rows && sub.cols = sup.cols
+  &&
+  let rec go w =
+    w = Array.length sub.data
+    || Array.unsafe_get sub.data w land lnot (Array.unsafe_get sup.data w) = 0 && go (w + 1)
+  in
+  go 0
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let rec go w = w = Array.length a.data || (a.data.(w) = b.data.(w) && go (w + 1)) in
+  go 0
 
 let fold f t init =
   let acc = ref init in

@@ -1,10 +1,12 @@
-(** Dense boolean matrices.
+(** Dense boolean matrices, bit-packed one bit per cell.
 
     The mapping algorithms of the paper operate on three boolean matrices: the
     function matrix (FM), the crossbar matrix (CM) and the matching matrix.
-    This module provides the shared dense representation, backed by [Bytes]
-    so that Monte Carlo runs with hundreds of thousands of samples do not
-    allocate per-element boxes. *)
+    Rows are packed into native machine words so the row-level predicates the
+    Monte Carlo mapping loops live in — containment ([row_subset]),
+    intersection, set-difference counting — run word-parallel: a handful of
+    AND/NOT/popcount operations per {!Bits.word_bits} cells instead of a
+    per-cell loop. *)
 
 type t
 (** A mutable [rows] x [cols] boolean matrix. *)
@@ -42,6 +44,33 @@ val count_row : t -> int -> int
 
 val count_col : t -> int -> int
 (** Number of [true] entries in column [j]. *)
+
+val row_nonzero : t -> int -> bool
+(** [row_nonzero m i]: row [i] has at least one [true] entry (word-parallel).
+    @raise Invalid_argument on a bad row index. *)
+
+val row_subset : t -> int -> t -> int -> bool
+(** [row_subset a i b j]: every [true] cell of row [i] of [a] is also [true]
+    in row [j] of [b] — the FM-row-fits-CM-row matching kernel.
+    @raise Invalid_argument on bad indices or mismatched column counts. *)
+
+val row_intersects : t -> int -> t -> int -> bool
+(** [row_intersects a i b j]: the two rows share at least one [true] cell. *)
+
+val row_and_count : t -> int -> t -> int -> int
+(** Popcount of the AND of two rows. *)
+
+val row_or_count : t -> int -> t -> int -> int
+(** Popcount of the OR of two rows. *)
+
+val row_diff_count : t -> int -> t -> int -> int
+(** [row_diff_count a i b j] is [|row i of a \ row j of b|] — the number of
+    cells set in [a]'s row but clear in [b]'s (the annealing conflict
+    count). *)
+
+val is_submatrix : t -> t -> bool
+(** [is_submatrix sub sup]: same dimensions and every [true] cell of [sub]
+    is [true] in [sup] (whole-matrix word-parallel subset test). *)
 
 val equal : t -> t -> bool
 

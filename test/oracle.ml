@@ -1,0 +1,415 @@
+(* Differential test oracle: the packed kernels (Cube_packed via Cube,
+   bit-packed Bmatrix) against the naive reference implementations in
+   Mcx.Logic.Naive, on seeded randomized inputs.
+
+   Arities are drawn from 1..80 so every suite crosses the packed-word
+   boundary (63 variables per native word) as well as the one-word fast
+   path.  Each op gets >= 1000 random cases. *)
+
+open Mcx_logic
+
+let seed = 0xC0FFEE
+let cases_per_op = 1200
+let max_arity = 80
+
+let prng_for name = Mcx_util.Prng.(of_key (Key.string (Key.root seed) name))
+
+let lit_of_int = function 0 -> Literal.Neg | 1 -> Literal.Pos | _ -> Literal.Absent
+
+(* Random naive cube; [absent_bias] is the probability a variable is free. *)
+let random_lits prng ~arity ~absent_bias =
+  Array.init arity (fun _ ->
+      if Mcx_util.Prng.bernoulli prng absent_bias then Literal.Absent
+      else lit_of_int (Mcx_util.Prng.int prng 2))
+
+let random_arity prng = 1 + Mcx_util.Prng.int prng max_arity
+
+(* A pair biased toward interesting relations: sometimes b is a specialized
+   copy of a (so covers/intersect hit the true branch), sometimes an
+   adjacent cube (so merge succeeds), otherwise independent. *)
+let random_pair prng ~arity =
+  let a = random_lits prng ~arity ~absent_bias:0.5 in
+  match Mcx_util.Prng.int prng 4 with
+  | 0 ->
+    (* specialize: fill some of a's absent positions *)
+    let b = Array.copy a in
+    Array.iteri
+      (fun i l ->
+        if Literal.equal l Literal.Absent && Mcx_util.Prng.bernoulli prng 0.5 then
+          b.(i) <- lit_of_int (Mcx_util.Prng.int prng 2))
+      a;
+    (a, b)
+  | 1 ->
+    (* adjacent: flip exactly one constrained literal when one exists *)
+    let b = Array.copy a in
+    let constrained =
+      Array.to_list (Array.mapi (fun i l -> (i, l)) a)
+      |> List.filter (fun (_, l) -> not (Literal.equal l Literal.Absent))
+    in
+    (match constrained with
+    | [] -> (a, b)
+    | _ ->
+      let k, l =
+        List.nth constrained (Mcx_util.Prng.int prng (List.length constrained))
+      in
+      b.(k) <- Literal.complement l;
+      (a, b))
+  | _ -> (a, random_lits prng ~arity ~absent_bias:0.5)
+
+let check_cube = Alcotest.testable Cube.pp Cube.equal
+let check_cube_opt = Alcotest.option check_cube
+
+let lits_equal a b =
+  Array.length a = Array.length b && Array.for_all2 Literal.equal a b
+
+(* ------------------------------------------------------------------ *)
+(* Cube ops vs the naive reference                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_covers () =
+  let prng = prng_for "covers" in
+  for _ = 1 to cases_per_op do
+    let arity = random_arity prng in
+    let a, b = random_pair prng ~arity in
+    let expected = Naive.covers a b in
+    let got = Cube.covers (Naive.of_cube a) (Naive.of_cube b) in
+    if got <> expected then
+      Alcotest.failf "covers %s %s: packed %b, reference %b"
+        (Cube.to_string (Naive.of_cube a))
+        (Cube.to_string (Naive.of_cube b))
+        got expected
+  done
+
+let test_intersect () =
+  let prng = prng_for "intersect" in
+  for _ = 1 to cases_per_op do
+    let arity = random_arity prng in
+    let a, b = random_pair prng ~arity in
+    let expected = Option.map Naive.of_cube (Naive.intersect a b) in
+    let got = Cube.intersect (Naive.of_cube a) (Naive.of_cube b) in
+    Alcotest.check check_cube_opt "intersect" expected got
+  done
+
+let test_distance_supercube () =
+  let prng = prng_for "distance" in
+  for _ = 1 to cases_per_op do
+    let arity = random_arity prng in
+    let a, b = random_pair prng ~arity in
+    let pa = Naive.of_cube a and pb = Naive.of_cube b in
+    Alcotest.(check int) "distance" (Naive.distance a b) (Cube.distance pa pb);
+    Alcotest.check check_cube "supercube"
+      (Naive.of_cube (Naive.supercube a b))
+      (Cube.supercube pa pb)
+  done
+
+let test_merge_adjacent () =
+  let prng = prng_for "merge" in
+  for _ = 1 to cases_per_op do
+    let arity = random_arity prng in
+    let a, b = random_pair prng ~arity in
+    let expected = Option.map Naive.of_cube (Naive.merge_adjacent a b) in
+    let got = Cube.merge_adjacent (Naive.of_cube a) (Naive.of_cube b) in
+    Alcotest.check check_cube_opt "merge_adjacent" expected got
+  done
+
+let test_cofactor () =
+  let prng = prng_for "cofactor" in
+  for _ = 1 to cases_per_op do
+    let arity = random_arity prng in
+    let c = random_lits prng ~arity ~absent_bias:0.4 in
+    let var = Mcx_util.Prng.int prng arity in
+    let value = Mcx_util.Prng.bool prng in
+    let expected = Option.map Naive.of_cube (Naive.cofactor c ~var ~value) in
+    let got = Cube.cofactor (Naive.of_cube c) ~var ~value in
+    Alcotest.check check_cube_opt "cofactor" expected got
+  done
+
+let test_cofactor_wrt () =
+  let prng = prng_for "cofactor_wrt" in
+  for _ = 1 to cases_per_op do
+    let arity = random_arity prng in
+    let g, c = random_pair prng ~arity in
+    let expected = Option.map Naive.of_cube (Naive.cofactor_wrt g c) in
+    let got = Cube.cofactor_wrt (Naive.of_cube g) (Naive.of_cube c) in
+    Alcotest.check check_cube_opt "cofactor_wrt" expected got
+  done
+
+let test_eval () =
+  let prng = prng_for "eval" in
+  for _ = 1 to cases_per_op do
+    let arity = random_arity prng in
+    let c = random_lits prng ~arity ~absent_bias:0.6 in
+    let v = Array.init arity (fun _ -> Mcx_util.Prng.bool prng) in
+    Alcotest.(check bool) "eval" (Naive.eval c v) (Cube.eval (Naive.of_cube c) v);
+    let packed_v = Cube.pack_assignment v in
+    Alcotest.(check bool) "eval_packed" (Naive.eval c v)
+      (Cube.eval_packed (Naive.of_cube c) packed_v)
+  done
+
+let test_roundtrip_and_counts () =
+  let prng = prng_for "roundtrip" in
+  for _ = 1 to cases_per_op do
+    let arity = random_arity prng in
+    let lits = random_lits prng ~arity ~absent_bias:0.5 in
+    let c = Naive.of_cube lits in
+    if not (lits_equal lits (Naive.to_cube c)) then
+      Alcotest.fail "to_cube . of_cube <> id";
+    Alcotest.check check_cube "of_string . to_string" c
+      (Cube.of_string (Cube.to_string c));
+    Alcotest.(check int) "num_literals" (Naive.num_literals lits) (Cube.num_literals c);
+    let expected_literals =
+      List.filteri
+        (fun _ (_, l) -> not (Literal.equal l Literal.Absent))
+        (Array.to_list (Array.mapi (fun i l -> (i, l)) lits))
+    in
+    let got = Cube.literals c in
+    if
+      List.length got <> List.length expected_literals
+      || not
+           (List.for_all2
+              (fun (i, l) (j, m) -> i = j && Literal.equal l m)
+              expected_literals got)
+    then Alcotest.failf "literals mismatch on %s" (Cube.to_string c)
+  done
+
+(* compare must order cubes exactly as the pre-packed representation did:
+   shorter arity first, then lexicographic by variable with
+   Neg < Pos < Absent. *)
+let naive_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else begin
+    let rec go i =
+      if i = la then 0
+      else
+        let c = Literal.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
+
+let sign x = Stdlib.compare x 0
+
+let test_compare_equal () =
+  let prng = prng_for "compare" in
+  for _ = 1 to cases_per_op do
+    let arity = random_arity prng in
+    let a, b = random_pair prng ~arity in
+    let pa = Naive.of_cube a and pb = Naive.of_cube b in
+    Alcotest.(check int) "compare sign" (sign (naive_compare a b))
+      (sign (Cube.compare pa pb));
+    Alcotest.(check bool) "equal" (lits_equal a b) (Cube.equal pa pb);
+    Alcotest.(check int) "compare self" 0 (Cube.compare pa pa)
+  done
+
+let test_tautology () =
+  let prng = prng_for "tautology" in
+  let tautologies = ref 0 in
+  for _ = 1 to 1000 do
+    let arity = 1 + Mcx_util.Prng.int prng max_arity in
+    (* Small covers of wide cubes keep the naive recursion tractable while
+       still producing genuine tautologies at small arity. *)
+    let n_cubes = 1 + Mcx_util.Prng.int prng 8 in
+    let wide = min arity 6 in
+    let cubes =
+      List.init n_cubes (fun _ ->
+          let lits = Array.make arity Literal.Absent in
+          let constrained = 1 + Mcx_util.Prng.int prng wide in
+          for _ = 1 to constrained do
+            lits.(Mcx_util.Prng.int prng arity) <- lit_of_int (Mcx_util.Prng.int prng 2)
+          done;
+          lits)
+    in
+    let expected = Naive.tautology ~arity cubes in
+    if expected then incr tautologies;
+    let cover = Cover.create ~arity (List.map Naive.of_cube cubes) in
+    if Tautology.check cover <> expected then
+      Alcotest.failf "tautology mismatch (arity %d): reference %b" arity expected
+  done;
+  (* the generator must exercise both outcomes *)
+  if !tautologies = 0 then Alcotest.fail "tautology generator produced no tautologies"
+
+let test_cover_containment () =
+  let prng = prng_for "containment" in
+  for _ = 1 to 1000 do
+    let arity = random_arity prng in
+    let n_cubes = 1 + Mcx_util.Prng.int prng 10 in
+    let cubes = List.init n_cubes (fun _ -> random_lits prng ~arity ~absent_bias:0.6) in
+    let expected = List.map Naive.of_cube (Naive.single_cube_containment cubes) in
+    let got =
+      Cover.cubes
+        (Cover.single_cube_containment
+           (Cover.create ~arity (List.map Naive.of_cube cubes)))
+    in
+    Alcotest.(check (list check_cube)) "single_cube_containment" expected got
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Word kernels: popcount / ctz                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_bits () =
+  let prng = prng_for "bits" in
+  let slow_pop x =
+    let n = ref 0 in
+    for b = 0 to Sys.int_size - 1 do
+      if (x lsr b) land 1 = 1 then incr n
+    done;
+    !n
+  in
+  let check x =
+    Alcotest.(check int) "popcount" (slow_pop x) (Mcx_util.Bits.popcount x);
+    if x <> 0 then begin
+      let t = Mcx_util.Bits.ctz x in
+      if (x lsr t) land 1 <> 1 || x land ((1 lsl t) - 1) <> 0 then
+        Alcotest.failf "ctz %d wrong for %x" t x
+    end
+  in
+  List.iter check [ 0; 1; 2; 3; max_int; min_int; -1; 1 lsl 62; min_int lor 1 ];
+  for _ = 1 to 2000 do
+    check (Int64.to_int (Mcx_util.Prng.bits64 prng))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Bmatrix vs bool array array                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_bmatrix () =
+  let prng = prng_for "bmatrix" in
+  for _ = 1 to 1000 do
+    let rows = 1 + Mcx_util.Prng.int prng 5 in
+    let cols = 1 + Mcx_util.Prng.int prng max_arity in
+    let density = 0.1 +. (0.8 *. Mcx_util.Prng.float prng) in
+    let mk () =
+      Array.init rows (fun _ ->
+          Array.init cols (fun _ -> Mcx_util.Prng.bernoulli prng density))
+    in
+    let a = mk () and b = mk () in
+    let pa = Naive.of_bmatrix a and pb = Naive.of_bmatrix b in
+    let i = Mcx_util.Prng.int prng rows and j = Mcx_util.Prng.int prng rows in
+    let k = Mcx_util.Prng.int prng cols in
+    Alcotest.(check bool) "get" a.(i).(k) (Mcx_util.Bmatrix.get pa i k);
+    let total = Array.fold_left (fun n r -> n + Naive.row_count [| r |] 0) 0 a in
+    Alcotest.(check int) "count" total (Mcx_util.Bmatrix.count pa);
+    Alcotest.(check int) "count_row" (Naive.row_count a i) (Mcx_util.Bmatrix.count_row pa i);
+    Alcotest.(check int) "count_col"
+      (Array.fold_left (fun n r -> n + if r.(k) then 1 else 0) 0 a)
+      (Mcx_util.Bmatrix.count_col pa k);
+    Alcotest.(check bool) "row_nonzero" (Naive.row_count a i > 0)
+      (Mcx_util.Bmatrix.row_nonzero pa i);
+    Alcotest.(check bool) "row_subset" (Naive.row_subset a i b j)
+      (Mcx_util.Bmatrix.row_subset pa i pb j);
+    Alcotest.(check bool) "row_intersects" (Naive.row_intersects a i b j)
+      (Mcx_util.Bmatrix.row_intersects pa i pb j);
+    Alcotest.(check int) "row_and_count" (Naive.row_and_count a i b j)
+      (Mcx_util.Bmatrix.row_and_count pa i pb j);
+    Alcotest.(check int) "row_or_count" (Naive.row_or_count a i b j)
+      (Mcx_util.Bmatrix.row_or_count pa i pb j);
+    Alcotest.(check int) "row_diff_count" (Naive.row_diff_count a i b j)
+      (Mcx_util.Bmatrix.row_diff_count pa i pb j);
+    Alcotest.(check bool) "is_submatrix" (Naive.is_submatrix a b)
+      (Mcx_util.Bmatrix.is_submatrix pa pb);
+    (* self-subset sanity and mutation round-trip *)
+    Alcotest.(check bool) "self submatrix" true (Mcx_util.Bmatrix.is_submatrix pa pa);
+    Mcx_util.Bmatrix.set pa i k (not a.(i).(k));
+    Alcotest.(check bool) "set/get" (not a.(i).(k)) (Mcx_util.Bmatrix.get pa i k);
+    Alcotest.(check bool) "equal after set" false
+      (Mcx_util.Bmatrix.equal pa (Naive.of_bmatrix a));
+    Mcx_util.Bmatrix.set pa i k a.(i).(k);
+    Alcotest.(check bool) "equal restored" true
+      (Mcx_util.Bmatrix.equal pa (Naive.of_bmatrix a))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Hash: packed-word hashing, no per-call string                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_hash_collisions () =
+  let prng = prng_for "hash" in
+  let seen = Hashtbl.create 4096 in
+  let hashes = Hashtbl.create 4096 in
+  let distinct = ref 0 and collisions = ref 0 in
+  for _ = 1 to 50_000 do
+    let arity = random_arity prng in
+    let c = Naive.of_cube (random_lits prng ~arity ~absent_bias:0.5) in
+    let key = string_of_int arity ^ ":" ^ Cube.to_string c in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      incr distinct;
+      let h = Cube.hash c in
+      (* equal cubes must agree, however they were built *)
+      Alcotest.(check int) "hash stable" h (Cube.hash (Cube.of_string (Cube.to_string c)));
+      if Hashtbl.mem hashes h then incr collisions else Hashtbl.replace hashes h ()
+    end
+  done;
+  (* 62-bit hashes over < 2^16 distinct cubes: any collision at all would be
+     a red flag for the mixer. Allow 2 as slack. *)
+  if !collisions > 2 then
+    Alcotest.failf "Cube.hash: %d collisions over %d distinct cubes" !collisions !distinct
+
+(* ------------------------------------------------------------------ *)
+(* Truth-table oracle: Qm / Minimize semantic equivalence              *)
+(* ------------------------------------------------------------------ *)
+
+let assert_equivalent ~what ~arity reference candidate =
+  let v = Array.make arity false in
+  for idx = 0 to (1 lsl arity) - 1 do
+    for i = 0 to arity - 1 do
+      v.(i) <- (idx lsr i) land 1 = 1
+    done;
+    if Cover.eval candidate v <> reference idx then
+      Alcotest.failf "%s: differs from input on assignment %d (arity %d)" what idx arity
+  done
+
+let test_qm_minimize_oracle () =
+  let prng = prng_for "qm" in
+  for arity = 1 to 12 do
+    let sops = if arity <= 8 then 10 else 4 in
+    for _ = 1 to sops do
+      (* Bias to short-ish cubes at small arity, near-minterms at high
+         arity, keeping the ON-set (and the QM prime lattice) tractable. *)
+      let literal_probability = if arity <= 8 then 0.5 else 0.85 in
+      let params =
+        {
+          Random_sop.n_inputs = arity;
+          n_products = 1 + Mcx_util.Prng.int prng (2 * arity);
+          literal_probability;
+        }
+      in
+      let f = Random_sop.random_cover prng params in
+      let tt = Truthtable.of_cover f in
+      let reference idx = Truthtable.get tt idx in
+      assert_equivalent ~what:"Qm.minimize" ~arity reference (Qm.minimize tt);
+      assert_equivalent ~what:"Minimize.espresso" ~arity reference (Minimize.espresso f)
+    done
+  done
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "cube vs reference",
+        [
+          Alcotest.test_case "covers" `Quick test_covers;
+          Alcotest.test_case "intersect" `Quick test_intersect;
+          Alcotest.test_case "distance & supercube" `Quick test_distance_supercube;
+          Alcotest.test_case "merge_adjacent" `Quick test_merge_adjacent;
+          Alcotest.test_case "cofactor" `Quick test_cofactor;
+          Alcotest.test_case "cofactor_wrt" `Quick test_cofactor_wrt;
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "roundtrip & counts" `Quick test_roundtrip_and_counts;
+          Alcotest.test_case "compare & equal" `Quick test_compare_equal;
+        ] );
+      ( "cover vs reference",
+        [
+          Alcotest.test_case "tautology" `Quick test_tautology;
+          Alcotest.test_case "single_cube_containment" `Quick test_cover_containment;
+        ] );
+      ( "words",
+        [
+          Alcotest.test_case "popcount & ctz" `Quick test_bits;
+          Alcotest.test_case "bmatrix vs reference" `Quick test_bmatrix;
+          Alcotest.test_case "hash collisions" `Quick test_hash_collisions;
+        ] );
+      ( "truth-table oracle",
+        [ Alcotest.test_case "Qm & Minimize equivalence" `Quick test_qm_minimize_oracle ] );
+    ]
