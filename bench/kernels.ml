@@ -261,26 +261,29 @@ let bench_bmatrix () =
 (* ------------------------------------------------------------------ *)
 
 let json_of_results rs =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"mcx-bench-kernels/1\",\n";
-  Buffer.add_string buf (Printf.sprintf "  \"word_bits\": %d,\n" Mcx.Util.Bits.word_bits);
-  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
-  Buffer.add_string buf "  \"results\": [\n";
-  List.iteri
-    (fun i r ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    { \"op\": %S, \"n\": %d, \"iterations\": %d, \
-            \"packed_ns_per_op\": %.2f, \"reference_ns_per_op\": %.2f, \
-            \"speedup\": %.2f }%s\n"
-           r.op r.n r.iterations r.packed_ns r.reference_ns
-           (r.reference_ns /. r.packed_ns)
-           (if i = List.length rs - 1 then "" else ","))
-    )
-    rs;
-  Buffer.add_string buf "  ]\n}\n";
-  Buffer.contents buf
+  let open Mcx.Util.Json_out in
+  (* two-decimal rounding, as the old hand-rolled %.2f emitter printed *)
+  let centi f = Float (Float.round (f *. 100.) /. 100.) in
+  Obj
+    [
+      ("schema", Str "mcx-bench-kernels/1");
+      ("word_bits", Int Mcx.Util.Bits.word_bits);
+      ("smoke", Bool smoke);
+      ( "results",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("op", Str r.op);
+                   ("n", Int r.n);
+                   ("iterations", Int r.iterations);
+                   ("packed_ns_per_op", centi r.packed_ns);
+                   ("reference_ns_per_op", centi r.reference_ns);
+                   ("speedup", centi (r.reference_ns /. r.packed_ns));
+                 ])
+             rs) );
+    ]
 
 let () =
   bench_cubes ();
@@ -294,9 +297,7 @@ let () =
       Printf.printf "%-24s %5d %14.2f %14.2f %8.2fx\n" r.op r.n r.packed_ns r.reference_ns
         (r.reference_ns /. r.packed_ns))
     rs;
-  let oc = open_out out_path in
-  output_string oc (json_of_results rs);
-  close_out oc;
+  Mcx.Util.Json_out.write_file out_path (json_of_results rs);
   Printf.printf "json written to %s (sink %d)\n" out_path (!sink land 1);
   if !mismatches > 0 then begin
     Printf.eprintf "%d self-check failure(s)\n%!" !mismatches;

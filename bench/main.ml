@@ -26,14 +26,21 @@ let pool = lazy (Mcx.Util.Pool.default ())
 let pool () = Lazy.force pool
 
 (* Wall-clock + per-trial accounting, reported on stderr so stdout stays
-   bit-comparable across MCX_JOBS settings. *)
-let wall = Mcx.Util.Timing.Counter.create ()
+   bit-comparable across MCX_JOBS settings.  The driver totals live in
+   plain refs; per-phase aggregation across pool domains is Telemetry's
+   job now (merging Timing.Counter values across domains is deprecated). *)
+let wall_seconds = ref 0.
+let wall_events = ref 0
 
 let timed name ?trials run =
-  let (), dt = Mcx.Util.Timing.time run in
-  Mcx.Util.Timing.Counter.add wall dt;
+  let (), dt =
+    Mcx.Util.Timing.time (fun () -> Mcx.Util.Telemetry.span ("bench." ^ name) run)
+  in
+  wall_seconds := !wall_seconds +. dt;
+  incr wall_events;
   match trials with
   | Some n when n > 0 ->
+    Mcx.Util.Telemetry.count ~n "bench.trials";
     Printf.eprintf "[mcx] %-9s wall %7.2fs  %8d trials  %10.1f us/trial\n%!" name dt n
       (1e6 *. dt /. float_of_int n)
   | _ -> Printf.eprintf "[mcx] %-9s wall %7.2fs\n%!" name dt
@@ -377,6 +384,7 @@ let experiments =
   ]
 
 let () =
+  Mcx.Util.Telemetry.install_from_env ();
   let requested =
     match List.tl (Array.to_list Sys.argv) with
     | [] | [ "all" ] ->
@@ -395,8 +403,7 @@ let () =
           (String.concat ", " (List.map fst experiments));
         exit 2)
     requested;
-  if Mcx.Util.Timing.Counter.events wall > 0 then
+  if !wall_events > 0 then
     Printf.eprintf "[mcx] total     wall %7.2fs over %d Monte Carlo experiments (MCX_JOBS=%d)\n%!"
-      (Mcx.Util.Timing.Counter.total_seconds wall)
-      (Mcx.Util.Timing.Counter.events wall)
+      !wall_seconds !wall_events
       (Mcx.Util.Pool.jobs (pool ()))

@@ -13,14 +13,26 @@
 
 open Cmdliner
 
-let setup_logs verbosity =
+let setup_logs verbosity trace =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level verbosity
+  Logs.set_level verbosity;
+  match trace with
+  | Some path when path <> "" -> Mcx.Util.Telemetry.install ~trace:path ()
+  | Some _ | None -> ()
+
+let trace_arg =
+  let env = Cmd.Env.info "MCX_TRACE" in
+  let doc =
+    "Record telemetry and write a Chrome trace-event JSON (loadable in Perfetto) to \
+     $(docv) at exit; a per-phase summary table goes to stderr so stdout stays \
+     byte-comparable."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~env ~docv:"FILE" ~doc)
 
 let verbosity =
   let env = Cmd.Env.info "MEMX_VERBOSITY" in
-  Term.(const setup_logs $ Logs_cli.level ~env ())
+  Term.(const setup_logs $ Logs_cli.level ~env () $ trace_arg)
 
 (* --- shared loading of a function: benchmark name or PLA file --- *)
 

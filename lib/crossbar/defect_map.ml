@@ -42,10 +42,12 @@ let get t i j =
 
 let set t i j d =
   check t i j "set";
+  Mcx_util.Telemetry.count "defect_map.mask_updates";
   Bytes.unsafe_set t.data ((i * t.cols) + j) (code d);
   Mcx_util.Bmatrix.set t.closed i j (Junction.defect_equal d Junction.Stuck_closed)
 
 let random prng ~rows ~cols ~open_rate ~closed_rate =
+  Mcx_util.Telemetry.span "defect_map.random" @@ fun () ->
   if open_rate < 0. || closed_rate < 0. || open_rate +. closed_rate > 1. then
     invalid_arg "Defect_map.random: bad rates";
   let t = create ~rows ~cols in

@@ -25,9 +25,11 @@ let signal_col net = function
   | Signal.Gate _ | Signal.Const _ -> None
 
 let place ?row_assignment ?physical_rows (mapped : Tech_map.mapped) =
+  Telemetry.span "multilevel.place" @@ fun () ->
   let net = mapped.Tech_map.network in
   let n_inputs = Network.n_inputs net in
   let n_gates = Network.gate_count net in
+  Telemetry.count ~n:n_gates "multilevel.gates_placed";
   let n_outputs = Array.length mapped.Tech_map.negated in
   (* Inner gates, in id order, each get one connection column. *)
   let feeds = Array.make (max 1 n_gates) false in
@@ -136,7 +138,7 @@ let run_impl ?defects ?upset t inputs =
     | None -> Defect_map.create ~rows:t.physical_rows ~cols:t.physical_cols
   in
   let values = Array.make_matrix t.physical_rows t.physical_cols true in
-  let writes = ref 0 in
+  let writes = ref 0 and cr_copies = ref 0 in
   let corrupt v =
     match upset with Some hit when hit () -> not v | Some _ | None -> v
   in
@@ -194,7 +196,10 @@ let run_impl ?defects ?upset t inputs =
       List.iter
         (fun consumer ->
           let rc = prow consumer in
-          if programmed rc c then write rc c result)
+          if programmed rc c then begin
+            incr cr_copies;
+            write rc c result
+          end)
         consumers.(id)
     | None -> ());
     List.iteri
@@ -240,6 +245,8 @@ let run_impl ?defects ?upset t inputs =
   for k = 0 to n_outputs - 1 do
     outputs.(k) <- col_and (output_main_col k)
   done;
+  Telemetry.count ~n:!writes "multilevel.writes";
+  Telemetry.count ~n:!cr_copies "multilevel.cr_copies";
   (outputs, !writes)
 
 let run_counting ?defects t inputs = run_impl ?defects t inputs

@@ -17,6 +17,7 @@ type factoring_row = {
 }
 
 let factoring ?pool ?(samples = 60) ?(input_sizes = [ 8; 10 ]) ~seed () =
+  Telemetry.span "experiment.ablation_factoring" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let row n_inputs =
     let key = Prng.Key.(int (string (root seed) "ablation-factoring") n_inputs) in
@@ -84,6 +85,7 @@ type ordering_row = {
 
 let ordering ?pool ?(samples = 100) ?(defect_rate = 0.10)
     ?(benchmarks = [ "rd53"; "rd73"; "rd84"; "sao2"; "exp5" ]) ~seed () =
+  Telemetry.span "experiment.ablation_ordering" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let row benchmark =
     let bench = Suite.find benchmark in
@@ -131,6 +133,7 @@ type fanin_row = {
 }
 
 let fanin ?(fanin_limits = [ 2; 4; 0 ]) ?(benchmarks = [ "rd53"; "sqrt8"; "t481" ]) () =
+  Telemetry.span "experiment.ablation_fanin" @@ fun () ->
   List.concat_map
     (fun benchmark ->
       let cover = Suite.cover (Suite.find benchmark) in

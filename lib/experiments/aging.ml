@@ -21,6 +21,7 @@ type die = {
 }
 
 let run ?pool ?(samples = 60) ?(max_faults = 200) ~seed ~benchmark () =
+  Telemetry.span "experiment.aging" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let bench = Suite.find benchmark in
   let cover = Suite.cover bench in

@@ -46,6 +46,7 @@ let run_panel ?pool ?(samples = 200) ~seed ~n_inputs () =
   { n_inputs; samples = sorted; success_rate }
 
 let run ?pool ?(samples = 200) ?(input_sizes = [ 8; 9; 10; 15 ]) ~seed () =
+  Telemetry.span "experiment.fig6" @@ fun () ->
   List.map (fun n_inputs -> run_panel ?pool ~samples ~seed ~n_inputs ()) input_sizes
 
 let median_of f panel =

@@ -17,6 +17,7 @@ type result = {
 }
 
 let run ?(widths = [ 1; 8; 16; 32; 64; 128; 192; 256; 320 ]) ?benchmarks () =
+  Mcx_util.Telemetry.span "experiment.margin" @@ fun () ->
   let selected =
     match benchmarks with
     | Some names -> List.map Suite.find names

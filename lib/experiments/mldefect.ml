@@ -16,6 +16,7 @@ type result = {
 
 let run ?pool ?(samples = 100) ?(defect_rates = [ 0.02; 0.05; 0.10; 0.15 ])
     ?(spare_rows = 0) ~seed ~benchmark () =
+  Telemetry.span "experiment.mldefect" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let bench = Suite.find benchmark in
   let cover = Suite.cover bench in

@@ -14,6 +14,7 @@ type sweep = { benchmark : string; samples : int; points : point list }
 
 let run ?pool ?(samples = 100)
     ?(defect_rates = [ 0.02; 0.05; 0.08; 0.10; 0.12; 0.15; 0.20 ]) ~seed ~benchmark () =
+  Telemetry.span "experiment.ratesweep" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let bench = Suite.find benchmark in
   let cover = Suite.cover bench in

@@ -27,6 +27,7 @@ let run_row bench =
   }
 
 let run ?benchmarks () =
+  Mcx_util.Telemetry.span "experiment.table1" @@ fun () ->
   let selected =
     match benchmarks with
     | None -> Suite.table1

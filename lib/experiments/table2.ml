@@ -97,6 +97,7 @@ let run_row ?pool ?(samples = 200) ?(defect_rate = 0.10) ~seed bench =
   }
 
 let run ?pool ?samples ?defect_rate ?benchmarks ~seed () =
+  Telemetry.span "experiment.table2" @@ fun () ->
   let selected =
     match benchmarks with
     | None -> Suite.table2

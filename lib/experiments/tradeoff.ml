@@ -13,6 +13,7 @@ type row = {
 }
 
 let run ?(benchmarks = [ "rd53"; "squar5"; "sqrt8"; "inc"; "rd73"; "t481" ]) () =
+  Mcx_util.Telemetry.span "experiment.tradeoff" @@ fun () ->
   List.map
     (fun name ->
       let cover = Suite.cover (Suite.find name) in

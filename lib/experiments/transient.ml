@@ -19,6 +19,7 @@ type result = {
 
 let run ?pool ?(evaluations = 300) ?(upset_rates = [ 1e-4; 3e-4; 1e-3; 3e-3 ]) ~seed
     ~benchmark () =
+  Telemetry.span "experiment.transient" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let bench = Suite.find benchmark in
   let cover = Suite.cover bench in

@@ -21,6 +21,7 @@ type sweep = {
 
 let run ?pool ?(samples = 100) ?(spare_levels = [ 0; 1; 2; 3; 4 ]) ?(open_rate = 0.05)
     ?(closed_rate = 0.01) ~seed ~benchmark () =
+  Telemetry.span "experiment.yield" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let bench = Suite.find benchmark in
   let cover = Suite.cover bench in

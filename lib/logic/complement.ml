@@ -3,7 +3,8 @@
    Leaves: empty cover -> universe; cover containing the universe cube ->
    empty. Branch on the most binate variable to keep the recursion shallow. *)
 
-let rec complement f =
+let rec complement_rec f =
+  Mcx_util.Telemetry.count "complement.nodes";
   let n = Cover.arity f in
   if Cover.is_empty f then Cover.top n
   else if List.exists (fun c -> Cube.num_literals c = 0) (Cover.cubes f) then Cover.empty n
@@ -11,8 +12,8 @@ let rec complement f =
     match Cover.most_binate_var f with
     | None -> Cover.empty n
     | Some var ->
-      let pos_branch = complement (Cover.cofactor f ~var ~value:true) in
-      let neg_branch = complement (Cover.cofactor f ~var ~value:false) in
+      let pos_branch = complement_rec (Cover.cofactor f ~var ~value:true) in
+      let neg_branch = complement_rec (Cover.cofactor f ~var ~value:false) in
       let attach value branch =
         let lit = if value then Literal.Pos else Literal.Neg in
         List.filter_map
@@ -26,3 +27,5 @@ let rec complement f =
       in
       let cubes = attach true pos_branch @ attach false neg_branch in
       Cover.single_cube_containment (Cover.create ~arity:n cubes)
+
+let complement f = Mcx_util.Telemetry.span "logic.complement" (fun () -> complement_rec f)

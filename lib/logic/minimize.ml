@@ -37,6 +37,7 @@ let irredundant f =
 (* Cofactor a cover with respect to a cube: the cover's behaviour inside the
    cube's subspace, expressed over the free variables. Word-parallel. *)
 let cofactor_wrt_cube f c =
+  Mcx_util.Telemetry.count "minimize.cofactors";
   Cover.create ~arity:(Cover.arity f)
     (List.filter_map (fun g -> Cube.cofactor_wrt g c) (Cover.cubes f))
 
@@ -70,10 +71,12 @@ let reduce f =
   Cover.create ~arity:n (sweep [] (List.stable_sort by_fewest_literals (Cover.cubes f)))
 
 let espresso f =
+  Mcx_util.Telemetry.span "minimize.espresso" @@ fun () ->
   let better a b = compare a b < 0 in
   let rec loop current current_cost budget =
     if budget = 0 then current
     else begin
+      Mcx_util.Telemetry.count "minimize.espresso_iters";
       let candidate = irredundant (expand (reduce current)) in
       let candidate_cost = cost candidate in
       if better candidate_cost current_cost then loop candidate candidate_cost (budget - 1)
@@ -116,12 +119,14 @@ let espresso_dc ~dc f =
   let rec loop current current_cost budget =
     if budget = 0 then current
     else begin
+      Mcx_util.Telemetry.count "minimize.espresso_iters";
       let candidate = irredundant_dc (expand_dc current) in
       let candidate_cost = cost candidate in
       if compare candidate_cost current_cost < 0 then loop candidate candidate_cost (budget - 1)
       else current
     end
   in
+  Mcx_util.Telemetry.span "minimize.espresso_dc" @@ fun () ->
   let start = irredundant_dc (expand_dc (Cover.single_cube_containment f)) in
   loop start (cost start) 6
 

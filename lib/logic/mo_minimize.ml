@@ -20,6 +20,7 @@ let row_obligations_covered mo ~cube ~output ~without =
   Tautology.cube_covered cube (Cover.create ~arity:(Mo_cover.n_inputs mo) others)
 
 let minimize_joint ?(passes = 4) mo =
+  Mcx_util.Telemetry.span "mo_minimize.joint" @@ fun () ->
   let n_inputs = Mo_cover.n_inputs mo in
   let n_outputs = Mo_cover.n_outputs mo in
   (* reference functions, fixed *)
@@ -113,6 +114,7 @@ let minimize_joint ?(passes = 4) mo =
   in
 
   let rec loop rows budget =
+    Mcx_util.Telemetry.count "mo_minimize.passes";
     let next = irredundant (expand_inputs (expand_outputs rows)) in
     if budget <= 1 || List.length next >= List.length rows then next else loop next (budget - 1)
   in

@@ -80,9 +80,12 @@ let primes tt = List.map (cube_of_imp ~arity:(Truthtable.arity tt)) (primes_imps
 let imp_covers imp m = m land lnot imp.dashes = imp.bits
 
 let minimize tt =
+  Mcx_util.Telemetry.span "qm.minimize" @@ fun () ->
   let arity = Truthtable.arity tt in
   let minterms = Array.of_list (Truthtable.minterm_indices tt) in
   let prime_list = Array.of_list (primes_imps tt) in
+  Mcx_util.Telemetry.count ~n:(Array.length minterms) "qm.minterms";
+  Mcx_util.Telemetry.count ~n:(Array.length prime_list) "qm.primes";
   let n_minterms = Array.length minterms in
   if n_minterms = 0 then Cover.empty arity
   else begin

@@ -18,6 +18,7 @@ let cost ~fm ~cm assignment =
   !total
 
 let map ?(params = default_params) ~prng fm_struct cm =
+  Telemetry.span "annealing.map" @@ fun () ->
   let fm = fm_struct.Mcx_crossbar.Function_matrix.matrix in
   if Bmatrix.cols cm <> Bmatrix.cols fm then
     invalid_arg "Annealing.map: column count mismatch";
@@ -37,6 +38,7 @@ let map ?(params = default_params) ~prng fm_struct cm =
   in
   let temperature = ref params.initial_temperature in
   let sweep = ref 0 in
+  let proposals = ref 0 and accepts = ref 0 in
   while !current > 0 && !sweep < params.sweeps do
     for _ = 1 to moves_per_sweep do
       if !current > 0 then begin
@@ -44,6 +46,7 @@ let map ?(params = default_params) ~prng fm_struct cm =
         let a = Prng.int prng n_fm in
         let b = Prng.int prng n_cm in
         if a <> b then begin
+          incr proposals;
           let delta_a_new = row_cost ~fm ~cm a perm.(b) in
           let b_is_fm = b < n_fm in
           let delta_b_new = if b_is_fm then row_cost ~fm ~cm b perm.(a) else 0 in
@@ -54,6 +57,7 @@ let map ?(params = default_params) ~prng fm_struct cm =
             || Prng.float prng < exp (-.float_of_int delta /. max 1e-9 !temperature)
           in
           if accept then begin
+            incr accepts;
             let tmp = perm.(a) in
             perm.(a) <- perm.(b);
             perm.(b) <- tmp;
@@ -67,4 +71,7 @@ let map ?(params = default_params) ~prng fm_struct cm =
     temperature := !temperature *. params.cooling;
     incr sweep
   done;
+  Telemetry.count ~n:!proposals "annealing.proposals";
+  Telemetry.count ~n:!accepts "annealing.accepts";
+  Telemetry.count ~n:!sweep "annealing.temperature_steps";
   if !current = 0 then Some (Array.sub perm 0 n_fm) else None

@@ -1,6 +1,7 @@
 open Mcx_util
 
 let map_matrix fm cm =
+  Telemetry.span "exact.map" @@ fun () ->
   if Bmatrix.cols cm <> Bmatrix.cols fm then invalid_arg "Exact.map: column count mismatch";
   if Bmatrix.rows cm < Bmatrix.rows fm then
     invalid_arg "Exact.map: crossbar has fewer rows than the function matrix";

@@ -14,6 +14,7 @@ let order_rows order fm rows =
       rows
 
 let map_rows ?(order = Top_down) ~fm ~greedy_rows ~assignment_rows cm =
+  Telemetry.span "hybrid.map" @@ fun () ->
   if Bmatrix.cols cm <> Bmatrix.cols fm then
     invalid_arg "Hybrid.map: column count mismatch";
   if Bmatrix.rows cm < Bmatrix.rows fm then
@@ -65,7 +66,12 @@ let map_rows ?(order = Top_down) ~fm ~greedy_rows ~assignment_rows cm =
   let minterm_rows = order_rows order fm greedy_rows in
   let output_rows = assignment_rows in
   let minterms_ok = List.for_all place_minterm minterm_rows in
-  let stats () = { backtracks = !backtracks; relocations = !relocations } in
+  let stats () =
+    Telemetry.count ~n:(List.length minterm_rows) "hybrid.greedy_placements";
+    Telemetry.count ~n:!backtracks "hybrid.backtracks";
+    Telemetry.count ~n:!relocations "hybrid.relocations";
+    { backtracks = !backtracks; relocations = !relocations }
+  in
   if not minterms_ok then (None, stats ())
   else begin
     (* Exact assignment of the output rows over the unmatched CM rows. *)

@@ -9,6 +9,7 @@ type placement = { row_assignment : int array; col_assignment : int array }
    never match a product row; genuinely empty FM rows do not occur because
    every row holds at least an output connection). *)
 let restricted_cm defects chosen =
+  Telemetry.count "redundant.cm_rebuilds";
   let rows = Defect_map.rows defects in
   let cols = Array.length chosen in
   let cm = Bmatrix.create ~rows ~cols false in
@@ -55,11 +56,13 @@ let random_columns prng defects ~wanted =
   Array.sub all 0 wanted
 
 let map ?(attempts = 8) ~prng ~algorithm fm_struct defects =
+  Telemetry.span "redundant.map" @@ fun () ->
   let fm = fm_struct.Function_matrix.matrix in
   let fm_rows = Bmatrix.rows fm and fm_cols = Bmatrix.cols fm in
   if Defect_map.rows defects < fm_rows || Defect_map.cols defects < fm_cols then
     invalid_arg "Redundant.map: defect map smaller than the function matrix";
   let attempt chosen =
+    Telemetry.count "redundant.attempts";
     let cm = restricted_cm defects chosen in
     let row_assignment =
       match algorithm with

@@ -3,6 +3,8 @@ open Mcx_util
 type outcome = { assignment : int array; rows_touched : int }
 
 let repair ~fm ~cm assignment =
+  Telemetry.span "repair.repair" @@ fun () ->
+  Telemetry.count "repair.attempts";
   if Bmatrix.cols fm <> Bmatrix.cols cm then invalid_arg "Repair.repair: column mismatch";
   let n_fm = Bmatrix.rows fm and n_cm = Bmatrix.rows cm in
   if Array.length assignment <> n_fm then invalid_arg "Repair.repair: assignment length";
@@ -64,9 +66,12 @@ let repair ~fm ~cm assignment =
     let locally_repaired =
       List.for_all (fun fm_row -> place_on_free fm_row || swap_with_survivor fm_row) broken
     in
-    if locally_repaired && Matching.check_assignment ~fm ~cm current then
+    if locally_repaired && Matching.check_assignment ~fm ~cm current then begin
+      Telemetry.count "repair.local_successes";
       Some { assignment = current; rows_touched = !touched }
-    else
+    end
+    else begin
+      Telemetry.count "repair.full_remaps";
       (* Full re-map as the last resort; every row may move. *)
       match Exact.map_matrix fm cm with
       | Some fresh ->
@@ -74,4 +79,5 @@ let repair ~fm ~cm assignment =
         Array.iteri (fun i t -> if t <> assignment.(i) then incr moved) fresh;
         Some { assignment = fresh; rows_touched = !moved }
       | None -> None
+    end
   end

@@ -1,0 +1,414 @@
+(* Per-domain buffers keyed off domain-local storage: recording never
+   takes a lock (the registry mutex guards only buffer creation and the
+   final snapshot). Aggregates merge by name with commutative sums, so
+   the summary cannot depend on which domain ran which trial. *)
+
+let n_buckets = 64
+let max_events_per_buffer = 1_000_000
+
+type span_agg = {
+  mutable calls : int;
+  mutable total_ns : int64;
+  mutable max_ns : int64;
+  buckets : int array;
+}
+
+type event = { ev_name : string; ev_ts : int64; ev_dur : int64 }
+
+type buffer = {
+  tid : int;
+  span_tbl : (string, span_agg) Hashtbl.t;
+  counter_tbl : (string, int ref) Hashtbl.t;
+  mutable stack : (string * int64) list;
+  mutable events : event array;
+  mutable n_events : int;
+  mutable dropped : int;
+}
+
+let enabled_flag = ref false
+let events_flag = ref false
+let epoch = ref 0L
+let registry : buffer list ref = ref []
+let registry_mutex = Mutex.create ()
+let next_tid = Atomic.make 0
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          tid = Atomic.fetch_and_add next_tid 1;
+          span_tbl = Hashtbl.create 64;
+          counter_tbl = Hashtbl.create 64;
+          stack = [];
+          events = [||];
+          n_events = 0;
+          dropped = 0;
+        }
+      in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+let buffer () = Domain.DLS.get buffer_key
+
+let enabled () = !enabled_flag
+
+let enable ?(events = false) () =
+  epoch := Timing.monotonic_ns ();
+  events_flag := events;
+  enabled_flag := true
+
+let disable () = enabled_flag := false
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun b ->
+      Hashtbl.reset b.span_tbl;
+      Hashtbl.reset b.counter_tbl;
+      b.stack <- [];
+      b.events <- [||];
+      b.n_events <- 0;
+      b.dropped <- 0)
+    !registry;
+  Mutex.unlock registry_mutex
+
+(* --- histogram geometry --- *)
+
+let bucket_of_ns ns =
+  if Int64.compare ns 2L < 0 then 0
+  else begin
+    (* durations fit comfortably in a native int on 64-bit *)
+    let n = Int64.to_int ns in
+    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+    min (n_buckets - 1) (log2 n 0)
+  end
+
+let bucket_bounds i =
+  if i < 0 || i >= n_buckets then invalid_arg "Telemetry.bucket_bounds";
+  let lo = if i = 0 then 0L else Int64.shift_left 1L i in
+  let hi = if i = n_buckets - 1 then Int64.max_int else Int64.shift_left 1L (i + 1) in
+  (lo, hi)
+
+(* --- recording --- *)
+
+let span_agg_of b name =
+  match Hashtbl.find_opt b.span_tbl name with
+  | Some agg -> agg
+  | None ->
+    let agg = { calls = 0; total_ns = 0L; max_ns = 0L; buckets = Array.make n_buckets 0 } in
+    Hashtbl.replace b.span_tbl name agg;
+    agg
+
+let record_duration b name ns =
+  let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+  let agg = span_agg_of b name in
+  agg.calls <- agg.calls + 1;
+  agg.total_ns <- Int64.add agg.total_ns ns;
+  if Int64.compare ns agg.max_ns > 0 then agg.max_ns <- ns;
+  let i = bucket_of_ns ns in
+  agg.buckets.(i) <- agg.buckets.(i) + 1
+
+let observe_ns name ns = if !enabled_flag then record_duration (buffer ()) name ns
+
+let count ?(n = 1) name =
+  if !enabled_flag then begin
+    let b = buffer () in
+    match Hashtbl.find_opt b.counter_tbl name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace b.counter_tbl name (ref n)
+  end
+
+let push_event b ev =
+  if b.n_events >= max_events_per_buffer then b.dropped <- b.dropped + 1
+  else begin
+    if b.n_events = Array.length b.events then begin
+      let cap = min max_events_per_buffer (max 256 (2 * Array.length b.events)) in
+      let bigger = Array.make cap ev in
+      Array.blit b.events 0 bigger 0 b.n_events;
+      b.events <- bigger
+    end;
+    b.events.(b.n_events) <- ev;
+    b.n_events <- b.n_events + 1
+  end
+
+let begin_span name =
+  if !enabled_flag then begin
+    let b = buffer () in
+    b.stack <- (name, Timing.monotonic_ns ()) :: b.stack
+  end
+
+let close_frame b name t0 =
+  let now = Timing.monotonic_ns () in
+  let dur = Int64.sub now t0 in
+  record_duration b name dur;
+  if !events_flag then
+    push_event b { ev_name = name; ev_ts = Int64.sub t0 !epoch; ev_dur = dur }
+
+let end_span name =
+  if !enabled_flag then begin
+    let b = buffer () in
+    match b.stack with
+    | [] ->
+      invalid_arg
+        (Printf.sprintf "Telemetry.end_span: %S closed but no span is open" name)
+    | (top, t0) :: rest ->
+      if not (String.equal top name) then
+        invalid_arg
+          (Printf.sprintf "Telemetry.end_span: %S closed while %S is innermost" name top);
+      b.stack <- rest;
+      close_frame b name t0
+  end
+
+(* Tolerant closer for the [span] wrapper: enabling/resetting mid-flight
+   must not turn the unwind into a spurious unbalanced-close failure. *)
+let close_span_if_open name =
+  if !enabled_flag then begin
+    let b = buffer () in
+    match b.stack with
+    | (top, t0) :: rest when String.equal top name ->
+      b.stack <- rest;
+      close_frame b name t0
+    | _ -> ()
+  end
+
+let span name f =
+  if not !enabled_flag then f ()
+  else begin
+    begin_span name;
+    match f () with
+    | v ->
+      close_span_if_open name;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      close_span_if_open name;
+      Printexc.raise_with_backtrace e bt
+  end
+
+(* --- reports --- *)
+
+module Report = struct
+  type span_stat = {
+    name : string;
+    calls : int;
+    total_ns : int64;
+    max_ns : int64;
+    buckets : int array;
+  }
+
+  type t = {
+    spans : span_stat list;  (* sorted by name *)
+    counters : (string * int) list;  (* sorted by name *)
+    events : (int * event) list;  (* (tid, event), sorted by (ts, tid) *)
+    dropped : int;
+  }
+
+  let empty = { spans = []; counters = []; events = []; dropped = 0 }
+  let spans t = t.spans
+  let counters t = t.counters
+  let dropped_events t = t.dropped
+
+  let merge_span_stat a b =
+    {
+      a with
+      calls = a.calls + b.calls;
+      total_ns = Int64.add a.total_ns b.total_ns;
+      max_ns = (if Int64.compare a.max_ns b.max_ns >= 0 then a.max_ns else b.max_ns);
+      buckets = Array.init n_buckets (fun i -> a.buckets.(i) + b.buckets.(i));
+    }
+
+  (* Merge two name-sorted assoc-style lists with a per-key combiner:
+     keyed and order-independent, the property the cross-domain summary
+     relies on. *)
+  let rec merge_sorted key combine xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | x :: xs', y :: ys' ->
+      let c = String.compare (key x) (key y) in
+      if c < 0 then x :: merge_sorted key combine xs' ys
+      else if c > 0 then y :: merge_sorted key combine xs ys'
+      else combine x y :: merge_sorted key combine xs' ys'
+
+  let event_compare (tid_a, a) (tid_b, b) =
+    let c = Int64.compare a.ev_ts b.ev_ts in
+    if c <> 0 then c
+    else
+      let c = Int.compare tid_a tid_b in
+      if c <> 0 then c else String.compare a.ev_name b.ev_name
+
+  let merge a b =
+    {
+      spans = merge_sorted (fun s -> s.name) merge_span_stat a.spans b.spans;
+      counters =
+        merge_sorted fst (fun (name, x) (_, y) -> (name, x + y)) a.counters b.counters;
+      events = List.merge event_compare a.events b.events;
+      dropped = a.dropped + b.dropped;
+    }
+
+  let percentile_ns stat ~p =
+    if p <= 0. || p > 1. then invalid_arg "Telemetry.Report.percentile_ns";
+    if stat.calls = 0 then 0L
+    else begin
+      let target = max 1 (int_of_float (ceil (p *. float_of_int stat.calls))) in
+      let rec walk i acc =
+        let acc = acc + stat.buckets.(i) in
+        if acc >= target || i = n_buckets - 1 then i else walk (i + 1) acc
+      in
+      let i = walk 0 0 in
+      if i = n_buckets - 1 then Int64.max_int else Int64.sub (fst (bucket_bounds (i + 1))) 1L
+    end
+
+  let pp_ns ns =
+    let ns = Int64.to_float ns in
+    if ns < 1e3 then Printf.sprintf "%.0fns" ns
+    else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+    else if ns < 1e9 then Printf.sprintf "%.1fms" (ns /. 1e6)
+    else Printf.sprintf "%.2fs" (ns /. 1e9)
+
+  let summary_table ?(times = true) t =
+    let headers =
+      if times then [ "phase"; "calls"; "total"; "mean"; "p50"; "p99"; "max" ]
+      else [ "phase"; "calls" ]
+    in
+    let table = Texttable.create headers in
+    List.iter
+      (fun s ->
+        let row =
+          if times then
+            let mean =
+              if s.calls = 0 then 0L
+              else Int64.div s.total_ns (Int64.of_int s.calls)
+            in
+            [
+              s.name;
+              string_of_int s.calls;
+              pp_ns s.total_ns;
+              pp_ns mean;
+              pp_ns (percentile_ns s ~p:0.50);
+              pp_ns (percentile_ns s ~p:0.99);
+              pp_ns s.max_ns;
+            ]
+          else [ s.name; string_of_int s.calls ]
+        in
+        Texttable.add_row table row)
+      t.spans;
+    if t.spans <> [] && t.counters <> [] then Texttable.add_separator table;
+    List.iter
+      (fun (name, n) ->
+        let row =
+          if times then [ name; string_of_int n; "-"; "-"; "-"; "-"; "-" ]
+          else [ name; string_of_int n ]
+        in
+        Texttable.add_row table row)
+      t.counters;
+    table
+
+  let chrome_trace t =
+    let tids = List.sort_uniq Int.compare (List.map fst t.events) in
+    let meta =
+      Json_out.Obj
+        [
+          ("name", Json_out.Str "process_name");
+          ("ph", Json_out.Str "M");
+          ("pid", Json_out.Int 1);
+          ("tid", Json_out.Int 0);
+          ("args", Json_out.Obj [ ("name", Json_out.Str "mcx") ]);
+        ]
+      :: List.map
+           (fun tid ->
+             Json_out.Obj
+               [
+                 ("name", Json_out.Str "thread_name");
+                 ("ph", Json_out.Str "M");
+                 ("pid", Json_out.Int 1);
+                 ("tid", Json_out.Int tid);
+                 ( "args",
+                   Json_out.Obj
+                     [ ("name", Json_out.Str (Printf.sprintf "domain %d" tid)) ] );
+               ])
+           tids
+    in
+    let span_events =
+      List.map
+        (fun (tid, ev) ->
+          Json_out.Obj
+            [
+              ("name", Json_out.Str ev.ev_name);
+              ("cat", Json_out.Str "mcx");
+              ("ph", Json_out.Str "X");
+              ("ts", Json_out.Float (Int64.to_float ev.ev_ts /. 1e3));
+              ("dur", Json_out.Float (Int64.to_float ev.ev_dur /. 1e3));
+              ("pid", Json_out.Int 1);
+              ("tid", Json_out.Int tid);
+            ])
+        t.events
+    in
+    Json_out.Obj
+      [
+        ("traceEvents", Json_out.List (meta @ span_events));
+        ("displayTimeUnit", Json_out.Str "ms");
+        ( "otherData",
+          Json_out.Obj
+            [
+              ("schema", Json_out.Str "mcx-trace/1");
+              ("dropped_events", Json_out.Int t.dropped);
+              ( "counters",
+                Json_out.Obj
+                  (List.map (fun (name, n) -> (name, Json_out.Int n)) t.counters) );
+            ] );
+      ]
+end
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let buffers = !registry in
+  Mutex.unlock registry_mutex;
+  List.fold_left
+    (fun acc b ->
+      let spans =
+        Hashtbl.fold
+          (fun name (agg : span_agg) acc ->
+            {
+              Report.name;
+              calls = agg.calls;
+              total_ns = agg.total_ns;
+              max_ns = agg.max_ns;
+              buckets = Array.copy agg.buckets;
+            }
+            :: acc)
+          b.span_tbl []
+        |> List.sort (fun (a : Report.span_stat) b -> String.compare a.Report.name b.Report.name)
+      in
+      let counters =
+        Hashtbl.fold (fun name r acc -> (name, !r) :: acc) b.counter_tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let events =
+        let arr = Array.init b.n_events (fun i -> (b.tid, b.events.(i))) in
+        Array.sort Report.event_compare arr;
+        Array.to_list arr
+      in
+      Report.merge acc
+        { Report.spans; counters; events; dropped = b.dropped })
+    Report.empty buffers
+
+let install ?(out = stderr) ~trace () =
+  enable ~events:true ();
+  at_exit (fun () ->
+      if !enabled_flag then begin
+        let report = snapshot () in
+        Json_out.write_file trace (Report.chrome_trace report);
+        let times =
+          match Sys.getenv_opt "MCX_TRACE_TIMES" with Some "0" -> false | _ -> true
+        in
+        Printf.fprintf out "[mcx] telemetry: chrome trace written to %s\n" trace;
+        output_string out (Texttable.render (Report.summary_table ~times report));
+        flush out
+      end)
+
+let install_from_env () =
+  match Sys.getenv_opt "MCX_TRACE" with
+  | Some path when String.trim path <> "" -> install ~trace:path ()
+  | Some _ | None -> ()

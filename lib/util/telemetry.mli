@@ -1,0 +1,140 @@
+(** Low-overhead observability for the synthesis/mapping pipeline: nested
+    spans, named counters and log2-bucketed duration histograms, with a
+    Chrome-trace exporter and a per-phase summary table.
+
+    {2 Recording model}
+
+    Every domain records into its own buffer (domain-local storage), so
+    instrumented code inside {!Pool} workers never contends on a lock.
+    Aggregates are {e keyed} by span/counter name and merge by commutative
+    sums, so the merged summary is independent of which domain executed
+    which trial: with the deterministic per-trial work of the experiment
+    harnesses, the [calls] and counter columns are bit-identical at any
+    [MCX_JOBS] value (wall-clock columns are measurements and are not).
+
+    {2 Cost when disabled}
+
+    All recording entry points first read one [bool ref]; when telemetry
+    is off they return immediately — a load and a branch, no allocation.
+    [span name f] calls [f] directly. The kernel microbench
+    ([bench/kernels.ml]) is the regression guard for this path.
+
+    {2 Gating}
+
+    Nothing records until {!enable} (or {!install} /
+    {!install_from_env}, which the drivers call). Setting
+    [MCX_TRACE=<path>] (or [memx --trace <path>]) enables collection,
+    writes a Chrome trace-event JSON to [<path>] at exit (loadable in
+    [about://tracing] / {{:https://ui.perfetto.dev}Perfetto}) and prints
+    the per-phase summary to stderr — stdout stays byte-comparable.
+    [MCX_TRACE_TIMES=0] drops the wall-clock columns from that summary,
+    leaving only the deterministic ones (used by the CI determinism
+    check). *)
+
+val enabled : unit -> bool
+
+val enable : ?events:bool -> unit -> unit
+(** Start collecting. [events] additionally records one trace event per
+    closed span (needed for the Chrome export; default [false]). Resets
+    the trace epoch to now. *)
+
+val disable : unit -> unit
+(** Stop collecting; recorded data stays until {!reset}. *)
+
+val reset : unit -> unit
+(** Drop all recorded data in every domain buffer. Only call while no
+    {!Pool} batch is in flight. *)
+
+(** {2 Recording} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] between two monotonic-clock readings and
+    records the duration under [name] (count, total, max, log2 histogram
+    bucket, and a trace event when events are on). Spans nest; on an
+    exception the open frame is closed and the exception re-raised. *)
+
+val begin_span : string -> unit
+val end_span : string -> unit
+(** Manual span bracketing for code where a higher-order wrapper does not
+    fit. [end_span name] closes the innermost open span, which must be
+    [name]. @raise Invalid_argument when no span is open or the innermost
+    open span has a different name (unbalanced close). *)
+
+val count : ?n:int -> string -> unit
+(** Add [n] (default 1) to the named counter. *)
+
+val observe_ns : string -> int64 -> unit
+(** Record one duration (nanoseconds) under [name] without the
+    span/trace-event machinery — same aggregate as a span of that
+    duration. Negative durations clamp to 0. *)
+
+(** {2 Histogram geometry} (pure; exposed for tests) *)
+
+val n_buckets : int
+(** 64: bucket [i >= 1] holds durations in [[2{^i}, 2{^i+1}) ns]; bucket
+    0 holds [[0, 2) ns]. *)
+
+val bucket_of_ns : int64 -> int
+
+val bucket_bounds : int -> int64 * int64
+(** [(lo, hi)] with [lo] inclusive, [hi] exclusive ([Int64.max_int] for
+    the last bucket). @raise Invalid_argument out of range. *)
+
+(** {2 Reports} *)
+
+module Report : sig
+  type span_stat = {
+    name : string;
+    calls : int;
+    total_ns : int64;
+    max_ns : int64;
+    buckets : int array;  (** length {!n_buckets} *)
+  }
+
+  type t
+
+  val empty : t
+
+  val spans : t -> span_stat list
+  (** Sorted by name. *)
+
+  val counters : t -> (string * int) list
+  (** Sorted by name. *)
+
+  val dropped_events : t -> int
+  val merge : t -> t -> t
+  (** Keyed, order-independent: [merge a b] and [merge b a] render the
+      same summary. *)
+
+  val percentile_ns : span_stat -> p:float -> int64
+  (** Upper edge of the histogram bucket holding the [p]-quantile call
+      ([0 < p <= 1]) — an overestimate by at most 2x. 0 when no calls. *)
+
+  val summary_table : ?times:bool -> t -> Texttable.t
+  (** Per-phase summary: one row per span (calls, and with
+      [times = true], total/mean/p50/p99/max), then a separator and one
+      row per counter. With [times = false] (the deterministic
+      projection) only name and calls/count columns are rendered. *)
+
+  val chrome_trace : t -> Json_out.t
+  (** Chrome trace-event JSON ([traceEvents] of ["ph": "X"] complete
+      events, microsecond timestamps relative to {!enable}, one [tid]
+      per recording domain, plus thread-name metadata; counter totals
+      ride in [otherData]). Schema documented in EXPERIMENTS.md. *)
+end
+
+val snapshot : unit -> Report.t
+(** Merge every domain buffer into one report. Only call while no
+    {!Pool} batch is in flight (drivers call it at exit). *)
+
+(** {2 Driver hooks} *)
+
+val install : ?out:out_channel -> trace:string -> unit -> unit
+(** Enable with events and register an exit hook that writes the Chrome
+    trace to [trace] and prints the summary table to [out] (default
+    stderr, so stdout stays byte-comparable). Honors [MCX_TRACE_TIMES=0]
+    for the summary. *)
+
+val install_from_env : unit -> unit
+(** [install] from [MCX_TRACE] when set and non-empty; otherwise do
+    nothing (telemetry stays off at a single branch per record call). *)

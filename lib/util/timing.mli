@@ -20,9 +20,10 @@ val mean_seconds : repeats:int -> (unit -> 'a) -> float
     elapsed seconds per run. @raise Invalid_argument if [repeats <= 0]. *)
 
 (** Accumulating event counters — per-trial timing totals threaded through
-    the bench harness. Not thread-safe: keep one counter per domain (or
-    aggregate per-trial durations through {!Pool.map_reduce}) and {!merge}
-    at the end. *)
+    the bench harness. Not thread-safe: keep one counter per domain. For
+    cross-domain aggregation use {!Telemetry} ({!Telemetry.span} /
+    {!Telemetry.observe_ns}), which records into domain-local buffers and
+    merges them deterministically at snapshot time. *)
 module Counter : sig
   type t
 
@@ -35,6 +36,9 @@ module Counter : sig
   (** Run a thunk, record its duration, return its result. *)
 
   val merge : into:t -> t -> unit
+  [@@deprecated
+    "cross-domain counter merging belongs to Telemetry (span/observe_ns + \
+     snapshot); see Mcx_util.Telemetry"]
 
   val events : t -> int
   val total_seconds : t -> float

@@ -17,6 +17,11 @@ let fig6_input_sizes = [ 8; 9; 10 ]
 
 let pool = lazy (Mcx.Util.Pool.default ())
 
+(* Telemetry runs fully enabled (events on) while the projections are
+   produced: the byte-compare below doubles as the regression guard that
+   instrumentation never perturbs experiment output. *)
+let () = Mcx.Util.Telemetry.enable ~events:true ()
+
 let table2_projection () =
   let rows =
     Mcx.Experiments.Table2.run ~pool:(Lazy.force pool) ~samples:table2_samples

@@ -1,0 +1,307 @@
+open Mcx_util
+
+(* Telemetry state is process-global; every test starts from a clean
+   slate.  Alcotest runs cases sequentially, so this does not race. *)
+let fresh () =
+  Telemetry.disable ();
+  Telemetry.reset ()
+
+(* --- Json_out ------------------------------------------------------- *)
+
+let js v = Json_out.to_string v
+
+let test_json_scalars () =
+  Alcotest.(check string) "null" "null" (js Json_out.Null);
+  Alcotest.(check string) "true" "true" (js (Json_out.Bool true));
+  Alcotest.(check string) "false" "false" (js (Json_out.Bool false));
+  Alcotest.(check string) "int" "-42" (js (Json_out.Int (-42)));
+  Alcotest.(check string) "str" "\"hi\"" (js (Json_out.Str "hi"))
+
+let test_json_escaping () =
+  Alcotest.(check string) "quote" {|"a\"b"|} (js (Json_out.Str {|a"b|}));
+  Alcotest.(check string) "backslash" {|"a\\b"|} (js (Json_out.Str {|a\b|}));
+  Alcotest.(check string) "newline tab cr" "\"\\n\\t\\r\"" (js (Json_out.Str "\n\t\r"));
+  Alcotest.(check string) "backspace formfeed" "\"\\b\\f\"" (js (Json_out.Str "\b\012"));
+  Alcotest.(check string) "other control chars" "\"\\u0000\\u001f\""
+    (js (Json_out.Str "\000\031"));
+  (* bytes >= 0x80 pass through untouched (UTF-8 payloads stay valid) *)
+  Alcotest.(check string) "high bytes pass through" "\"\xc3\xa9\""
+    (js (Json_out.Str "\xc3\xa9"))
+
+let test_json_non_finite_floats () =
+  Alcotest.(check string) "nan is null" "null" (js (Json_out.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null" (js (Json_out.Float Float.infinity));
+  Alcotest.(check string) "-inf is null" "null" (js (Json_out.Float Float.neg_infinity))
+
+let test_json_float_round_trip () =
+  List.iter
+    (fun f ->
+      let printed = js (Json_out.Float f) in
+      Alcotest.(check (float 0.)) (Printf.sprintf "%h survives" f) f
+        (float_of_string printed))
+    [ 0.; 1.; -1.5; 0.1; 1. /. 3.; Float.pi; 1e-308; 1.7976931348623157e308; 123.456 ];
+  (* the short decimals print short, not with 17-digit noise *)
+  Alcotest.(check string) "0.1 prints short" "0.1" (js (Json_out.Float 0.1))
+
+let test_json_nesting () =
+  let v =
+    Json_out.Obj
+      [
+        ("a", Json_out.List [ Json_out.Int 1; Json_out.Null ]);
+        ("b", Json_out.Obj [ ("c", Json_out.Str "d") ]);
+        ("empty", Json_out.List []);
+      ]
+  in
+  Alcotest.(check string) "compact nesting"
+    {|{"a":[1,null],"b":{"c":"d"},"empty":[]}|} (js v)
+
+(* --- histogram geometry --------------------------------------------- *)
+
+let test_bucket_boundaries () =
+  Alcotest.(check int) "0ns" 0 (Telemetry.bucket_of_ns 0L);
+  Alcotest.(check int) "1ns" 0 (Telemetry.bucket_of_ns 1L);
+  Alcotest.(check int) "2ns" 1 (Telemetry.bucket_of_ns 2L);
+  Alcotest.(check int) "3ns" 1 (Telemetry.bucket_of_ns 3L);
+  Alcotest.(check int) "4ns" 2 (Telemetry.bucket_of_ns 4L);
+  Alcotest.(check int) "1024ns" 10 (Telemetry.bucket_of_ns 1024L);
+  (* every bucket's inclusive bounds map back to the bucket *)
+  for i = 0 to 61 do
+    let lo, hi = Telemetry.bucket_bounds i in
+    Alcotest.(check int) (Printf.sprintf "lo of %d" i) i (Telemetry.bucket_of_ns lo);
+    Alcotest.(check int)
+      (Printf.sprintf "hi-1 of %d" i)
+      i
+      (Telemetry.bucket_of_ns (Int64.sub hi 1L))
+  done;
+  let lo, _ = Telemetry.bucket_bounds 1 in
+  Alcotest.(check int64) "bucket 1 starts at 2" 2L lo;
+  let _, hi = Telemetry.bucket_bounds (Telemetry.n_buckets - 1) in
+  Alcotest.(check int64) "last bucket is open-ended" Int64.max_int hi;
+  Alcotest.check_raises "negative bucket" (Invalid_argument "Telemetry.bucket_bounds")
+    (fun () -> ignore (Telemetry.bucket_bounds (-1)))
+
+let stat_with_buckets pairs =
+  let buckets = Array.make Telemetry.n_buckets 0 in
+  List.iter (fun (i, n) -> buckets.(i) <- n) pairs;
+  let calls = List.fold_left (fun acc (_, n) -> acc + n) 0 pairs in
+  { Telemetry.Report.name = "t"; calls; total_ns = 0L; max_ns = 0L; buckets }
+
+let test_percentiles () =
+  (* 100 calls in [8,16) plus one outlier in [512,1024) *)
+  let stat = stat_with_buckets [ (3, 100); (9, 1) ] in
+  Alcotest.(check int64) "p50 upper edge of bucket 3" 15L
+    (Telemetry.Report.percentile_ns stat ~p:0.50);
+  Alcotest.(check int64) "p99 still bucket 3" 15L
+    (Telemetry.Report.percentile_ns stat ~p:0.99);
+  Alcotest.(check int64) "p100 reaches the outlier" 1023L
+    (Telemetry.Report.percentile_ns stat ~p:1.0);
+  let empty = stat_with_buckets [] in
+  Alcotest.(check int64) "no calls" 0L (Telemetry.Report.percentile_ns empty ~p:0.5);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Telemetry.Report.percentile_ns") (fun () ->
+      ignore (Telemetry.Report.percentile_ns stat ~p:0.))
+
+(* --- spans and counters --------------------------------------------- *)
+
+let find_span report name =
+  List.find_opt
+    (fun s -> String.equal s.Telemetry.Report.name name)
+    (Telemetry.Report.spans report)
+
+let test_span_nesting () =
+  fresh ();
+  Telemetry.enable ();
+  let v =
+    Telemetry.span "t.outer" (fun () ->
+        Telemetry.span "t.inner" (fun () -> 2 + 2)
+        + Telemetry.span "t.inner" (fun () -> 1))
+  in
+  Alcotest.(check int) "span is transparent" 5 v;
+  let report = Telemetry.snapshot () in
+  let calls name =
+    match find_span report name with Some s -> s.Telemetry.Report.calls | None -> 0
+  in
+  Alcotest.(check int) "outer once" 1 (calls "t.outer");
+  Alcotest.(check int) "inner twice" 2 (calls "t.inner");
+  (match find_span report "t.inner" with
+  | Some s ->
+    Alcotest.(check int) "histogram holds every call" 2
+      (Array.fold_left ( + ) 0 s.Telemetry.Report.buckets);
+    Alcotest.(check bool) "total >= max" true
+      (Int64.compare s.Telemetry.Report.total_ns s.Telemetry.Report.max_ns >= 0)
+  | None -> Alcotest.fail "inner span missing")
+
+let test_span_exception_safety () =
+  fresh ();
+  Telemetry.enable ();
+  (try Telemetry.span "t.raises" (fun () -> raise Exit) with Exit -> ());
+  let report = Telemetry.snapshot () in
+  (match find_span report "t.raises" with
+  | Some s -> Alcotest.(check int) "recorded despite raise" 1 s.Telemetry.Report.calls
+  | None -> Alcotest.fail "span lost on exception");
+  (* the stack unwound: a follow-up balanced close still works *)
+  Telemetry.begin_span "t.after";
+  Telemetry.end_span "t.after"
+
+let test_unbalanced_close_detection () =
+  fresh ();
+  Telemetry.enable ();
+  Alcotest.check_raises "close with nothing open"
+    (Invalid_argument "Telemetry.end_span: \"t.none\" closed but no span is open")
+    (fun () -> Telemetry.end_span "t.none");
+  Telemetry.begin_span "t.a";
+  Alcotest.check_raises "close wrong span"
+    (Invalid_argument "Telemetry.end_span: \"t.b\" closed while \"t.a\" is innermost")
+    (fun () -> Telemetry.end_span "t.b");
+  (* the mis-close left the frame in place; the matching close succeeds *)
+  Telemetry.end_span "t.a"
+
+let test_disabled_records_nothing () =
+  fresh ();
+  Alcotest.(check bool) "disabled" false (Telemetry.enabled ());
+  let v = Telemetry.span "t.off" (fun () -> 7) in
+  Alcotest.(check int) "span passes through" 7 v;
+  Telemetry.count "t.off_counter";
+  Telemetry.observe_ns "t.off_obs" 5L;
+  let report = Telemetry.snapshot () in
+  Alcotest.(check bool) "no span" true (find_span report "t.off" = None);
+  Alcotest.(check bool) "no counter" true
+    (List.assoc_opt "t.off_counter" (Telemetry.Report.counters report) = None)
+
+let test_counters_and_observe () =
+  fresh ();
+  Telemetry.enable ();
+  Telemetry.count "t.c";
+  Telemetry.count ~n:41 "t.c";
+  Telemetry.observe_ns "t.obs" 10L;
+  Telemetry.observe_ns "t.obs" (-5L);
+  (* clamps to 0 *)
+  let report = Telemetry.snapshot () in
+  Alcotest.(check (option int)) "counter sums" (Some 42)
+    (List.assoc_opt "t.c" (Telemetry.Report.counters report));
+  match find_span report "t.obs" with
+  | Some s ->
+    Alcotest.(check int) "observe counts calls" 2 s.Telemetry.Report.calls;
+    Alcotest.(check int64) "negative clamped" 10L s.Telemetry.Report.total_ns
+  | None -> Alcotest.fail "observe_ns aggregate missing"
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- deterministic merge across job counts --------------------------- *)
+
+(* The same per-trial instrumentation, fanned out over [jobs] domains; the
+   deterministic projection of the summary must not depend on [jobs]. *)
+let run_workload jobs =
+  fresh ();
+  Telemetry.enable ();
+  let pool = Pool.create ~jobs () in
+  let total =
+    Pool.map_reduce pool ~n:64
+      ~map:(fun i ->
+        Telemetry.span "t.trial" (fun () ->
+            Telemetry.count ~n:(i mod 3) "t.units";
+            Telemetry.count "t.trials";
+            i))
+      ~init:0 ~fold:( + )
+  in
+  Pool.shutdown pool;
+  let report = Telemetry.snapshot () in
+  let summary = Texttable.render (Telemetry.Report.summary_table ~times:false report) in
+  Telemetry.disable ();
+  (total, summary)
+
+let test_deterministic_merge () =
+  let total1, summary1 = run_workload 1 in
+  let total4, summary4 = run_workload 4 in
+  Alcotest.(check int) "fold result identical" total1 total4;
+  Alcotest.(check string) "summary identical at 1 vs 4 jobs" summary1 summary4;
+  Alcotest.(check bool) "summary names the span" true
+    (contains ~affix:"t.trial" summary1);
+  Alcotest.(check bool) "counter total is jobs-independent" true
+    (contains ~affix:"64" summary1)
+
+let test_report_merge_order_independent () =
+  fresh ();
+  Telemetry.enable ();
+  Telemetry.span "t.m" (fun () -> ());
+  Telemetry.count ~n:3 "t.mc";
+  let a = Telemetry.snapshot () in
+  Telemetry.reset ();
+  Telemetry.span "t.m" (fun () -> ());
+  Telemetry.span "t.other" (fun () -> ());
+  Telemetry.count ~n:4 "t.mc";
+  let b = Telemetry.snapshot () in
+  Telemetry.disable ();
+  let render r = Texttable.render (Telemetry.Report.summary_table ~times:false r) in
+  Alcotest.(check string) "merge commutes"
+    (render (Telemetry.Report.merge a b))
+    (render (Telemetry.Report.merge b a));
+  let merged = Telemetry.Report.merge a b in
+  Alcotest.(check (option int)) "counters sum" (Some 7)
+    (List.assoc_opt "t.mc" (Telemetry.Report.counters merged));
+  match find_span merged "t.m" with
+  | Some s -> Alcotest.(check int) "span calls sum" 2 s.Telemetry.Report.calls
+  | None -> Alcotest.fail "merged span missing"
+
+(* --- chrome trace export -------------------------------------------- *)
+
+let test_chrome_trace_shape () =
+  fresh ();
+  Telemetry.enable ~events:true ();
+  Telemetry.span "t.traced" (fun () -> Telemetry.span "t.traced_inner" (fun () -> ()));
+  Telemetry.count ~n:9 "t.traced_count";
+  let report = Telemetry.snapshot () in
+  Telemetry.disable ();
+  let json = Json_out.to_string (Telemetry.Report.chrome_trace report) in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (Printf.sprintf "trace contains %s" affix) true
+        (contains ~affix json))
+    [
+      {|"traceEvents":[|};
+      {|"schema":"mcx-trace/1"|};
+      {|"ph":"X"|};
+      {|"name":"t.traced"|};
+      {|"name":"t.traced_inner"|};
+      {|"name":"process_name"|};
+      {|"t.traced_count":9|};
+      {|"dropped_events":0|};
+    ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "json_out",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "non-finite floats" `Quick test_json_non_finite_floats;
+          Alcotest.test_case "float round trip" `Quick test_json_float_round_trip;
+          Alcotest.test_case "nesting" `Quick test_json_nesting;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "unbalanced close" `Quick test_unbalanced_close_detection;
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_records_nothing;
+          Alcotest.test_case "counters and observe_ns" `Quick test_counters_and_observe;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "summary identical at 1 vs 4 jobs" `Quick
+            test_deterministic_merge;
+          Alcotest.test_case "merge is order-independent" `Quick
+            test_report_merge_order_independent;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape ] );
+    ]
