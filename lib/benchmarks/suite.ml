@@ -280,7 +280,9 @@ let find name =
   | Some b -> b
   | None -> raise Not_found
 
-let memo : (string, Mcx_logic.Mo_cover.t) Hashtbl.t = Hashtbl.create 32
+(* Guarded by [memo_mutex] below; covers are built once per process. *)
+let memo : (string, Mcx_logic.Mo_cover.t) Hashtbl.t =
+  Hashtbl.create 32 [@@mcx.lint.allow "domain-toplevel-state"]
 let memo_mutex = Mutex.create ()
 
 (* The mutex keeps the memo safe when covers are first requested from

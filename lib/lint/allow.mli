@@ -1,0 +1,26 @@
+(** Finding suppression: [@mcx.lint.allow "rule-id"] attributes collected
+    as source spans, and the repo-root [lint.allow] path allowlist. *)
+
+type span = {
+  rule : string option;  (** [None] allows every rule *)
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;
+}
+
+val spans_of_structure : Parsetree.structure -> span list
+val spans_of_signature : Parsetree.signature -> span list
+
+val suppressed : span list -> Finding.t -> bool
+(** Is the finding inside an allow-span naming its rule (or naming none)? *)
+
+type file_entry = { prefix : string; allow_rule : string  (** ["*"] = all *) }
+
+val parse_allow_file_contents : string -> file_entry list
+(** One entry per line: [<path-prefix> <rule-id|*>]; [#] starts a comment. *)
+
+val load_allow_file : string -> file_entry list
+(** [] when the file does not exist. *)
+
+val allowed_by_file : file_entry list -> Finding.t -> bool

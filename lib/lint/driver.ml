@@ -1,0 +1,224 @@
+(* Orchestration: walk the scanned trees, parse every .ml/.mli (source
+   rules + suppression spans), pair compiled modules with their .cmt
+   (typed rules), then filter findings through the attribute spans, the
+   [lint.allow] file and [--only]. *)
+
+type config = {
+  root : string;  (** absolute repo root *)
+  paths : string list;  (** repo-relative files/dirs to scan *)
+  only : string list;  (** restrict to these rule ids; [] = all *)
+  allow_file : string option;  (** repo-relative allowlist, e.g. [Some "lint.allow"] *)
+  with_typed : bool;  (** read .cmt files and run typed rules *)
+}
+
+let default_paths = [ "lib"; "bin"; "bench"; "test" ]
+
+let default_config ~root =
+  { root; paths = default_paths; only = []; allow_file = Some "lint.allow"; with_typed = true }
+
+let find_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+(* --- tree walking ---------------------------------------------------- *)
+
+let skip_dir name =
+  name = "_build" || name = ".git" || (String.length name > 0 && name.[0] = '.')
+
+let rec walk_files acc dir rel =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        let erel = if rel = "" then entry else rel ^ "/" ^ entry in
+        if Sys.is_directory path then
+          if skip_dir entry then acc else walk_files acc path erel
+        else if Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli" then
+          erel :: acc
+        else acc)
+      acc entries
+
+let scan_sources config =
+  List.concat_map
+    (fun p ->
+      let abs = Filename.concat config.root p in
+      if not (Sys.file_exists abs) then []
+      else if Sys.is_directory abs then List.rev (walk_files [] abs p)
+      else if Filename.check_suffix p ".ml" || Filename.check_suffix p ".mli" then [ p ]
+      else [])
+    config.paths
+  |> List.sort_uniq String.compare
+
+(* --- parsing --------------------------------------------------------- *)
+
+type parsed = {
+  rel : string;
+  spans : Allow.span list;
+  source_findings : Finding.t list;
+}
+
+let parse_file config rel =
+  let abs = Filename.concat config.root rel in
+  let ic = open_in_bin abs in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf rel;
+      if Filename.check_suffix rel ".mli" then
+        let sg = Parse.interface lexbuf in
+        { rel; spans = Allow.spans_of_signature sg; source_findings = [] }
+      else
+        let str = Parse.implementation lexbuf in
+        { rel; spans = Allow.spans_of_structure str; source_findings = Source_lint.run ~file:rel str })
+
+let parse_error_finding rel (loc : Location.t) =
+  {
+    Finding.file = rel;
+    line = loc.loc_start.pos_lnum;
+    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+    rule = "parse-error";
+    message = "file does not parse; fix it before linting";
+  }
+
+(* --- cmt discovery --------------------------------------------------- *)
+
+let rec walk_cmts acc dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then
+          if entry = ".git" || entry = ".sandbox" || entry = ".actions" then acc
+          else walk_cmts acc path
+        else if Filename.check_suffix entry ".cmt" then path :: acc
+        else acc)
+      acc entries
+  | exception Sys_error _ -> acc
+
+let cmt_paths root =
+  let build = Filename.concat (Filename.concat root "_build") "default" in
+  let roots = if Sys.file_exists build && Sys.is_directory build then [ build ] else [] in
+  (* When the root *is* a dune build context (the self-hosting test runs
+     inside _build/default), the .objs directories sit next to the copied
+     sources. *)
+  let roots = if roots = [] then [ root ] else roots in
+  List.concat_map (fun r -> List.rev (walk_cmts [] r)) roots
+
+let normalize_rel p =
+  if String.length p >= 2 && String.sub p 0 2 = "./" then
+    String.sub p 2 (String.length p - 2)
+  else p
+
+(* Run typed rules over every cmt whose recorded source file is one of the
+   scanned sources; each source is linted through at most one cmt. *)
+let typed_findings config sources =
+  let source_set = Hashtbl.create 64 in
+  List.iter (fun rel -> Hashtbl.replace source_set rel ()) sources;
+  let done_set = Hashtbl.create 64 in
+  let covered = ref 0 in
+  let findings =
+    List.concat_map
+      (fun cmt_path ->
+        match Cmt_format.read_cmt cmt_path with
+        | exception _ -> []
+        | cmt -> (
+          match (cmt.cmt_sourcefile, cmt.cmt_annots) with
+          | Some src, Implementation str ->
+            let rel = normalize_rel src in
+            if Hashtbl.mem source_set rel && not (Hashtbl.mem done_set rel) then begin
+              Hashtbl.add done_set rel ();
+              incr covered;
+              Typed_lint.run ~file:rel ~modname:cmt.cmt_modname str
+            end
+            else []
+          | _ -> []))
+      (cmt_paths config.root)
+  in
+  (findings, !covered)
+
+(* --- top level ------------------------------------------------------- *)
+
+type result = {
+  findings : Finding.t list;
+  files_scanned : int;
+  files_typed : int;  (** sources that had a matching .cmt *)
+}
+
+let run config =
+  List.iter
+    (fun id ->
+      if not (Rules.mem id) then invalid_arg (Printf.sprintf "mcx-lint: unknown rule %S" id))
+    config.only;
+  let sources = scan_sources config in
+  let spans_by_file = Hashtbl.create 64 in
+  let source_findings = ref [] in
+  List.iter
+    (fun rel ->
+      match parse_file config rel with
+      | parsed ->
+        Hashtbl.replace spans_by_file rel parsed.spans;
+        source_findings := parsed.source_findings @ !source_findings
+      | exception Syntaxerr.Error err ->
+        source_findings :=
+          parse_error_finding rel (Syntaxerr.location_of_error err) :: !source_findings
+      | exception Lexer.Error (_, loc) ->
+        source_findings := parse_error_finding rel loc :: !source_findings)
+    sources;
+  let typed, files_typed =
+    if config.with_typed then typed_findings config sources else ([], 0)
+  in
+  let allow_entries =
+    match config.allow_file with
+    | None -> []
+    | Some rel -> Allow.load_allow_file (Filename.concat config.root rel)
+  in
+  let keep (f : Finding.t) =
+    (config.only = [] || List.mem f.Finding.rule config.only)
+    && (not (Allow.allowed_by_file allow_entries f))
+    &&
+    match Hashtbl.find_opt spans_by_file f.Finding.file with
+    | Some spans -> not (Allow.suppressed spans f)
+    | None -> true
+  in
+  let findings =
+    List.filter keep (!source_findings @ typed) |> List.sort_uniq Finding.compare
+  in
+  { findings; files_scanned = List.length sources; files_typed }
+
+(* --- reporting ------------------------------------------------------- *)
+
+let report_text result =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Finding.to_string f);
+      Buffer.add_char buf '\n')
+    result.findings;
+  Buffer.add_string buf
+    (Printf.sprintf "mcx-lint: %d finding%s in %d files (%d with typed coverage)\n"
+       (List.length result.findings)
+       (if List.length result.findings = 1 then "" else "s")
+       result.files_scanned result.files_typed);
+  Buffer.contents buf
+
+let report_json result =
+  Mcx_util.Json_out.to_string
+    (Mcx_util.Json_out.Obj
+       [
+         ("schema", Mcx_util.Json_out.Str "mcx-lint/1");
+         ("files_scanned", Mcx_util.Json_out.Int result.files_scanned);
+         ("files_typed", Mcx_util.Json_out.Int result.files_typed);
+         ("count", Mcx_util.Json_out.Int (List.length result.findings));
+         ("findings", Mcx_util.Json_out.List (List.map Finding.to_json result.findings));
+       ])

@@ -1,0 +1,34 @@
+(** Walks the scanned trees, runs source and typed rules, and filters
+    findings through the suppression mechanisms. *)
+
+type config = {
+  root : string;  (** absolute repo root *)
+  paths : string list;  (** repo-relative files/dirs to scan *)
+  only : string list;  (** restrict to these rule ids; [] = all *)
+  allow_file : string option;  (** repo-relative allowlist, e.g. [Some "lint.allow"] *)
+  with_typed : bool;  (** read .cmt files and run typed rules *)
+}
+
+val default_paths : string list
+(** [lib bin bench test] *)
+
+val default_config : root:string -> config
+
+val find_root : unit -> string option
+(** Nearest ancestor of [Sys.getcwd ()] containing a [dune-project]. *)
+
+type result = {
+  findings : Finding.t list;
+  files_scanned : int;
+  files_typed : int;  (** sources that had a matching .cmt *)
+}
+
+val run : config -> result
+(** @raise Invalid_argument when [config.only] names an unknown rule. *)
+
+val report_text : result -> string
+(** One [file:line:col [rule-id] message] line per finding plus a summary
+    trailer. *)
+
+val report_json : result -> string
+(** Compact JSON, schema [mcx-lint/1]. *)

@@ -1,0 +1,134 @@
+(* Rule registry: ids, one-line synopses, and the path scope each rule
+   applies to. Scoping is by repo-relative path (forward slashes). Fixture
+   files under [test/lint_fixtures/] are treated as if they lived under
+   [lib/] so that every rule — including the lib-scoped ones — can be
+   exercised by a fixture; the real repo run suppresses that directory via
+   [lint.allow]. *)
+
+type kind = Source | Typed
+
+type t = { id : string; synopsis : string; kind : kind }
+
+let fixture_prefix = "test/lint_fixtures/"
+
+(* Path [rel] as seen by scope checks: fixtures masquerade as lib code. *)
+let effective_path rel =
+  match String.length rel >= String.length fixture_prefix
+        && String.sub rel 0 (String.length fixture_prefix) = fixture_prefix
+  with
+  | true ->
+    "lib/lint_fixtures/"
+    ^ String.sub rel (String.length fixture_prefix)
+        (String.length rel - String.length fixture_prefix)
+  | false -> rel
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let in_lib rel = starts_with ~prefix:"lib/" (effective_path rel)
+
+let is_one_of rel files = List.mem (effective_path rel) files
+
+(* Modules allowed to hold wall clocks: the monotonic-clock wrapper and the
+   telemetry subsystem built on it. *)
+let clock_owners =
+  [ "lib/util/timing.ml"; "lib/util/timing.mli"; "lib/util/telemetry.ml"; "lib/util/telemetry.mli" ]
+
+(* The only module allowed to touch OCaml's [Random]: the deterministic
+   splittable PRNG that replaces it. *)
+let prng_owners = [ "lib/util/prng.ml"; "lib/util/prng.mli" ]
+
+(* DLS-guarded modules exempt from the top-level mutable state rule. *)
+let dls_guarded = [ "lib/util/telemetry.ml"; "lib/util/prng.ml" ]
+
+(* Designated rendering/report modules that may write to stdout. *)
+let render_owners = [ "lib/crossbar/render.ml"; "lib/util/texttable.ml" ]
+
+(* The JSON emitter itself is the one place float formatting may live. *)
+let json_owners = [ "lib/util/json_out.ml" ]
+
+let all : t list =
+  [
+    {
+      id = "determinism-random";
+      synopsis =
+        "Stdlib.Random is banned outside lib/util/prng.ml; derive a Prng.Key stream instead";
+      kind = Source;
+    };
+    {
+      id = "determinism-wallclock";
+      synopsis =
+        "wall-clock reads (Unix.gettimeofday/Unix.time/Sys.time) are banned outside \
+         Timing/Telemetry";
+      kind = Source;
+    };
+    {
+      id = "determinism-poly-hash";
+      synopsis =
+        "Hashtbl.hash/seeded_hash are banned everywhere (30-bit, partial traversal; the \
+         pre-PR-1 seeding bug)";
+      kind = Source;
+    };
+    {
+      id = "packed-poly-compare";
+      synopsis =
+        "polymorphic =/<>/compare/min/max and Hashtbl/List.mem-family instantiated at \
+         Cube.t, Cube_packed.t or Bmatrix.t; use the dedicated equal/compare/hash";
+      kind = Typed;
+    };
+    {
+      id = "domain-toplevel-state";
+      synopsis =
+        "top-level mutable state (ref/Hashtbl.create/Buffer.create/...) in lib/ races \
+         under Pool domains; move it into the closure or guard it explicitly";
+      kind = Source;
+    };
+    {
+      id = "output-print";
+      synopsis =
+        "stdout printing in lib/ outside Render/Texttable perturbs byte-comparable \
+         experiment output";
+      kind = Source;
+    };
+    {
+      id = "output-float-json";
+      synopsis =
+        "hand-rolled float-to-JSON formatting (sprintf with %f and '{'/'\"'); use \
+         Mcx_util.Json_out";
+      kind = Source;
+    };
+    {
+      id = "hygiene-obj-magic";
+      synopsis = "Obj.magic defeats the type system";
+      kind = Source;
+    };
+    {
+      id = "hygiene-catchall";
+      synopsis =
+        "catch-all exception handler that never re-raises swallows errors (and leaks \
+         open Telemetry spans)";
+      kind = Source;
+    };
+    {
+      id = "hygiene-deprecated";
+      synopsis = "use of a value marked [@@deprecated]";
+      kind = Typed;
+    };
+  ]
+
+let ids = List.map (fun r -> r.id) all
+
+let mem id = List.exists (fun r -> r.id = id) all
+
+(* Does [rule] apply to the file at repo-relative path [rel]? *)
+let applies rule rel =
+  match rule with
+  | "determinism-random" -> not (is_one_of rel prng_owners)
+  | "determinism-wallclock" -> not (is_one_of rel clock_owners)
+  | "determinism-poly-hash" | "packed-poly-compare" | "hygiene-obj-magic"
+  | "hygiene-catchall" | "hygiene-deprecated" ->
+    true
+  | "domain-toplevel-state" -> in_lib rel && not (is_one_of rel dls_guarded)
+  | "output-print" -> in_lib rel && not (is_one_of rel render_owners)
+  | "output-float-json" -> in_lib rel && not (is_one_of rel json_owners)
+  | _ -> false

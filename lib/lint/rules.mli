@@ -1,0 +1,17 @@
+(** The mcx-lint rule registry: every rule id, its synopsis, and the path
+    scope it applies to. *)
+
+type kind = Source  (** Parsetree rule *) | Typed  (** Typedtree (.cmt) rule *)
+
+type t = { id : string; synopsis : string; kind : kind }
+
+val all : t list
+val ids : string list
+val mem : string -> bool
+
+val applies : string -> string -> bool
+(** [applies rule rel] — does [rule] fire in the file at repo-relative
+    path [rel]? Files under [test/lint_fixtures/] are scoped as if they
+    lived under [lib/] so lib-only rules can be exercised by fixtures. *)
+
+val starts_with : prefix:string -> string -> bool

@@ -1,0 +1,5 @@
+(** Untyped (Parsetree) rules: determinism bans, top-level mutable state,
+    output discipline, hygiene. *)
+
+val run : file:string -> Parsetree.structure -> Finding.t list
+(** [file] is the repo-relative path used for findings and rule scoping. *)

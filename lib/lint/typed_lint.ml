@@ -1,0 +1,131 @@
+(* Typed rules, run over the Typedtree recovered from [.cmt] files
+   (dune passes [-bin-annot] by default, so every compiled module has
+   one). Types are matched structurally without environment expansion:
+   a [Tconstr] whose path ends in [Cube.t], [Cube_packed.t] or
+   [Bmatrix.t] (module aliases and dune name-mangling like
+   [Mcx_logic__Cube] are normalized) counts as a packed type. Inside
+   those modules' own implementations the bare [t] counts too. *)
+
+let packed_modules = [ "Cube"; "Cube_packed"; "Bmatrix" ]
+
+(* Polymorphic-structure functions that silently order/compare/hash packed
+   values by their physical representation. Keyed by [Path.name]. *)
+let poly_fns =
+  [
+    "Stdlib.compare";
+    "Stdlib.=";
+    "Stdlib.<>";
+    "Stdlib.<";
+    "Stdlib.>";
+    "Stdlib.<=";
+    "Stdlib.>=";
+    "Stdlib.min";
+    "Stdlib.max";
+    "Stdlib.Hashtbl.find";
+    "Stdlib.Hashtbl.find_opt";
+    "Stdlib.Hashtbl.find_all";
+    "Stdlib.Hashtbl.mem";
+    "Stdlib.Hashtbl.add";
+    "Stdlib.Hashtbl.replace";
+    "Stdlib.Hashtbl.remove";
+    "Stdlib.List.mem";
+    "Stdlib.List.assoc";
+    "Stdlib.List.assoc_opt";
+    "Stdlib.List.mem_assoc";
+    "Stdlib.List.remove_assoc";
+    "Stdlib.Array.mem";
+  ]
+
+(* Last segment of a dune-mangled module name: "Mcx_logic__Cube" -> "Cube". *)
+let unmangle seg =
+  let n = String.length seg in
+  let rec find i best =
+    if i + 1 >= n then best
+    else if seg.[i] = '_' && seg.[i + 1] = '_' then find (i + 2) (Some (i + 2))
+    else find (i + 1) best
+  in
+  match find 0 None with Some j -> String.sub seg j (n - j) | None -> seg
+
+let path_is_packed ~self path =
+  match List.rev (String.split_on_char '.' (Path.name path)) with
+  | [ "t" ] -> (match self with Some m -> List.mem m packed_modules | None -> false)
+  | "t" :: owner :: _ -> List.mem (unmangle owner) packed_modules
+  | _ -> false
+
+(* Walk a type_expr looking for a packed Tconstr; visited set breaks
+   recursive-type cycles. *)
+let type_mentions_packed ~self ty =
+  let visited = Hashtbl.create 16 in
+  let exception Found of string in
+  let rec walk ty =
+    let id = Types.get_id ty in
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      match Types.get_desc ty with
+      | Tconstr (p, args, _) ->
+        if path_is_packed ~self p then raise (Found (Path.name p));
+        List.iter walk args
+      | Tarrow (_, a, b, _) ->
+        walk a;
+        walk b
+      | Ttuple ts -> List.iter walk ts
+      | Tpoly (t, ts) ->
+        walk t;
+        List.iter walk ts
+      | Tlink t | Tsubst (t, _) -> walk t
+      | Tvar _ | Tunivar _ | Tnil | Tobject _ | Tfield _ | Tvariant _ | Tpackage _ -> ()
+    end
+  in
+  match walk ty with () -> None | exception Found name -> Some name
+
+let deprecated_attr (vd : Types.value_description) =
+  List.exists
+    (fun (a : Parsetree.attribute) ->
+      match a.attr_name.txt with "deprecated" | "ocaml.deprecated" -> true | _ -> false)
+    vd.val_attributes
+
+let finding ~file ~rule ~(loc : Location.t) message =
+  {
+    Finding.file;
+    line = loc.loc_start.pos_lnum;
+    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+    rule;
+    message;
+  }
+
+(* [self]: when linting one of the packed modules' own cmt, its bare [t]
+   is packed. [modname] is the cmt's compilation-unit name. *)
+let self_of_modname modname =
+  let m = unmangle modname in
+  if List.mem m packed_modules then Some m else None
+
+let run ~file ~modname (str : Typedtree.structure) =
+  let findings = ref [] in
+  let self = self_of_modname modname in
+  let applies rule = Rules.applies rule file in
+  let add ~rule ~loc message =
+    if applies rule then findings := finding ~file ~rule ~loc message :: !findings
+  in
+  let super = Tast_iterator.default_iterator in
+  let expr it (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_ident (path, { loc; _ }, vd) ->
+      let name = Path.name path in
+      if List.mem name poly_fns then begin
+        match type_mentions_packed ~self e.exp_type with
+        | Some packed ->
+          add ~rule:"packed-poly-compare" ~loc
+            (Printf.sprintf
+               "%s instantiated at packed type %s; use the module's equal/compare/hash \
+                (packed words, not structure, decide the answer)"
+               name packed)
+        | None -> ()
+      end;
+      if deprecated_attr vd then
+        add ~rule:"hygiene-deprecated" ~loc (Printf.sprintf "%s is deprecated" name)
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure it str;
+  List.rev !findings

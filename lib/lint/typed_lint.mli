@@ -1,0 +1,8 @@
+(** Typed rules over the Typedtree recovered from [.cmt] files:
+    polymorphic comparison/hash instantiated at packed types, and uses of
+    [@@deprecated] values. *)
+
+val run : file:string -> modname:string -> Typedtree.structure -> Finding.t list
+(** [modname] is the compilation-unit name from the cmt; inside [Cube],
+    [Cube_packed] and [Bmatrix] themselves the bare type [t] counts as
+    packed. *)

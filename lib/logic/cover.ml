@@ -15,7 +15,7 @@ let arity t = t.arity
 let cubes t = t.cubes
 let size t = List.length t.cubes
 let literal_count t = List.fold_left (fun acc c -> acc + Cube.num_literals c) 0 t.cubes
-let is_empty t = t.cubes = []
+let is_empty t = List.is_empty t.cubes
 
 let eval t v =
   match t.cubes with

@@ -58,7 +58,7 @@ let best_literal ~arity cubes =
   !best
 
 let rec factor_cubes ~arity cubes =
-  if cubes = [] then Const false
+  if List.is_empty cubes then Const false
   else if List.exists (fun c -> Cube.num_literals c = 0) cubes then Const true
   else
     match cubes with

@@ -167,7 +167,7 @@ let rec factor_cubes ~arity cubes =
       | None -> Factor.factor (Cover.create ~arity cubes)
       | Some (divisor, _) ->
         let quotient, remainder = divide cubes ~by:divisor in
-        if quotient = [] then Factor.factor (Cover.create ~arity cubes)
+        if List.is_empty quotient then Factor.factor (Cover.create ~arity cubes)
         else
           Factor.mk_or
             [

@@ -74,7 +74,8 @@ let shutdown pool =
   Array.iter Domain.join pool.domains;
   pool.domains <- [||]
 
-let default_pool = ref None
+(* Guarded by [default_mutex]; the process-wide default pool. *)
+let default_pool = ref None [@@mcx.lint.allow "domain-toplevel-state"]
 let default_mutex = Mutex.create ()
 
 let default () =
@@ -109,6 +110,8 @@ let map pool n f =
       let lo = Atomic.fetch_and_add next chunk in
       if lo < n then begin
         let hi = min n (lo + chunk) in
+        (* Not a swallow: the first failure is stashed in [first_error] and
+           re-raised with its backtrace after the join below. *)
         (try
            for i = lo to hi - 1 do
              results.(i) <- Some (f i)
@@ -117,7 +120,8 @@ let map pool n f =
            let bt = Printexc.get_raw_backtrace () in
            ignore (Atomic.compare_and_set first_error None (Some (e, bt)));
            (* abandon remaining chunks on error *)
-           Atomic.set next n);
+           Atomic.set next n)
+        [@mcx.lint.allow "hygiene-catchall"];
         consume ()
       end
     in

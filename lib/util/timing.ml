@@ -30,10 +30,6 @@ module Counter = struct
     add t dt;
     result
 
-  let merge ~into t =
-    into.events <- into.events + t.events;
-    into.seconds <- into.seconds +. t.seconds
-
   let events t = t.events
   let total_seconds t = t.seconds
   let mean_seconds t = if t.events = 0 then 0. else t.seconds /. float_of_int t.events

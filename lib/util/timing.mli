@@ -35,11 +35,6 @@ module Counter : sig
   val record : t -> (unit -> 'a) -> 'a
   (** Run a thunk, record its duration, return its result. *)
 
-  val merge : into:t -> t -> unit
-  [@@deprecated
-    "cross-domain counter merging belongs to Telemetry (span/observe_ns + \
-     snapshot); see Mcx_util.Telemetry"]
-
   val events : t -> int
   val total_seconds : t -> float
 

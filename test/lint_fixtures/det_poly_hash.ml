@@ -1,0 +1,5 @@
+(* determinism-poly-hash: expected at line 3. *)
+
+let seed_of key = Hashtbl.hash key
+
+let suppressed key = (Hashtbl.hash key [@mcx.lint.allow "determinism-poly-hash"])

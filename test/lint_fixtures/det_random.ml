@@ -1,0 +1,5 @@
+(* determinism-random: expected at line 3. *)
+
+let roll () = Random.int 6
+
+let suppressed () = (Random.int 6 [@mcx.lint.allow "determinism-random"])

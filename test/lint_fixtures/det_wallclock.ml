@@ -1,0 +1,7 @@
+(* determinism-wallclock: expected at lines 3 and 5. *)
+
+let now () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()
+
+let suppressed () = (Unix.gettimeofday () [@mcx.lint.allow "determinism-wallclock"])

@@ -1,0 +1,9 @@
+(* hygiene-catchall: expected at lines 3 and 5. *)
+
+let swallow f = try f () with _ -> ()
+
+let swallow_named f = try Some (f ()) with e -> ignore e; None
+
+let fine_reraise f cleanup = try f () with e -> cleanup (); raise e
+
+let fine_specific f = try Some (f ()) with Not_found -> None

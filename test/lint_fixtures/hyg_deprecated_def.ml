@@ -1,0 +1,5 @@
+(* Definition site for the hygiene-deprecated fixture. *)
+
+let old_merge a b = a + b
+
+let new_merge = ( + )

@@ -1,0 +1,5 @@
+(* hygiene-deprecated (typed): expected at line 3. *)
+
+let use () = Hyg_deprecated_def.old_merge 1 2
+
+let fine () = Hyg_deprecated_def.new_merge 1 2

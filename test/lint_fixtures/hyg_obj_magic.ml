@@ -1,0 +1,3 @@
+(* hygiene-obj-magic: expected at line 3. *)
+
+let cast (x : int) : bool = Obj.magic x

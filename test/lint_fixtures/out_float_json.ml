@@ -1,0 +1,5 @@
+(* output-float-json: expected at line 3. *)
+
+let row x = Printf.sprintf "{\"value\": %f}" x
+
+let fine dt = Printf.sprintf "%.1fms" dt

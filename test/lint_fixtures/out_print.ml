@@ -1,0 +1,9 @@
+(* output-print: expected at lines 3 and 5. *)
+
+let greet () = print_endline "hello"
+
+let shout x = Printf.printf "%d\n" x
+
+let fine ppf = Format.pp_print_string ppf "not stdout"
+
+let suppressed () = (print_endline "tolerated" [@mcx.lint.allow "output-print"])

@@ -1,0 +1,19 @@
+(* packed-poly-compare (typed): expected at lines 4, 7, 10 and 13. *)
+
+let bad_compare (a : Mcx_logic.Cube.t) (b : Mcx_logic.Cube.t) =
+  Stdlib.compare a b
+
+let bad_equal (a : Mcx_logic.Cube.t) (b : Mcx_logic.Cube.t) =
+  a = b
+
+let bad_hashtbl (tbl : (Mcx_logic.Cube.t, int) Hashtbl.t) (c : Mcx_logic.Cube.t) =
+  Hashtbl.find_opt tbl c
+
+let bad_sort (cubes : Mcx_logic.Cube.t list) =
+  List.sort compare cubes
+
+let good_equal (a : Mcx_logic.Cube.t) (b : Mcx_logic.Cube.t) =
+  Mcx_logic.Cube.equal a b
+
+let suppressed (a : Mcx_logic.Cube.t) (b : Mcx_logic.Cube.t) =
+  ((a = b) [@mcx.lint.allow "packed-poly-compare"])

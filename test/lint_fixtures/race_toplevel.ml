@@ -1,0 +1,12 @@
+(* domain-toplevel-state: expected at lines 3, 5 and 7. *)
+
+let cache : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let hits = ref 0
+
+let scratch = Buffer.create 80
+
+let per_call () = Buffer.create 80
+
+(* Guarded by a mutex in real code; the annotation documents it. *)
+let allowed : int list ref = ref [] [@@mcx.lint.allow "domain-toplevel-state"]

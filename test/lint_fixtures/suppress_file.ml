@@ -1,0 +1,5 @@
+(* A floating [@@@mcx.lint.allow] suppresses the whole file. *)
+
+[@@@mcx.lint.allow "determinism-random"]
+
+let roll () = Random.int 6

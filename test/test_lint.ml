@@ -1,0 +1,234 @@
+(* mcx-lint tests: every rule fires at the expected fixture line, both
+   suppression mechanisms ([@mcx.lint.allow] attributes and the root
+   lint.allow file) silence findings, and — the self-hosting check — the
+   repository itself lints clean.
+
+   The driver locates the repo root by walking up from the test's working
+   directory to the nearest dune-project, i.e. the real source tree, with
+   typed (.cmt) coverage coming from _build/default. *)
+
+module Lint = Mcx_lint
+
+let root =
+  match Lint.Driver.find_root () with
+  | Some r -> r
+  | None -> failwith "test_lint: no dune-project above the test directory"
+
+let fixture_dir = "test/lint_fixtures/"
+
+(* Lint a single fixture file with the path allowlist disabled (the repo
+   lint.allow suppresses the whole fixture tree). *)
+let lint_fixture file =
+  let config =
+    {
+      (Lint.Driver.default_config ~root) with
+      paths = [ fixture_dir ^ file ];
+      allow_file = None;
+    }
+  in
+  (Lint.Driver.run config).findings
+
+let line_rules findings =
+  List.map (fun (f : Lint.Finding.t) -> (f.line, f.rule)) findings
+
+let check_fixture file expected =
+  let findings = lint_fixture file in
+  Alcotest.(check (list (pair int string)))
+    (file ^ " findings")
+    expected (line_rules findings)
+
+(* --- one test per rule ----------------------------------------------- *)
+(* Each fixture also contains clean and attribute-suppressed variants on
+   other lines, so the exact expected list doubles as the suppression
+   assertion: a suppressed or compliant line showing up here is a bug. *)
+
+let test_determinism_random () =
+  check_fixture "det_random.ml" [ (3, "determinism-random") ]
+
+let test_determinism_wallclock () =
+  check_fixture "det_wallclock.ml"
+    [ (3, "determinism-wallclock"); (5, "determinism-wallclock") ]
+
+let test_determinism_poly_hash () =
+  check_fixture "det_poly_hash.ml" [ (3, "determinism-poly-hash") ]
+
+let test_packed_poly_compare () =
+  check_fixture "packed_poly.ml"
+    [
+      (4, "packed-poly-compare");
+      (7, "packed-poly-compare");
+      (10, "packed-poly-compare");
+      (13, "packed-poly-compare");
+    ]
+
+let test_domain_toplevel_state () =
+  check_fixture "race_toplevel.ml"
+    [
+      (3, "domain-toplevel-state");
+      (5, "domain-toplevel-state");
+      (7, "domain-toplevel-state");
+    ]
+
+let test_output_print () =
+  check_fixture "out_print.ml" [ (3, "output-print"); (5, "output-print") ]
+
+let test_output_float_json () =
+  check_fixture "out_float_json.ml" [ (3, "output-float-json") ]
+
+let test_hygiene_obj_magic () =
+  check_fixture "hyg_obj_magic.ml" [ (3, "hygiene-obj-magic") ]
+
+let test_hygiene_catchall () =
+  check_fixture "hyg_catchall.ml" [ (3, "hygiene-catchall"); (5, "hygiene-catchall") ]
+
+let test_hygiene_deprecated () =
+  check_fixture "hyg_deprecated_use.ml" [ (3, "hygiene-deprecated") ];
+  check_fixture "hyg_deprecated_def.ml" []
+
+let test_floating_allow_suppresses_file () = check_fixture "suppress_file.ml" []
+
+(* --- suppression via lint.allow -------------------------------------- *)
+
+let test_allow_file_parsing () =
+  let entries =
+    Lint.Allow.parse_allow_file_contents
+      "# comment\n\ntest/lint_fixtures/ *\nlib/util/pool.ml hygiene-catchall  # trailing\n"
+  in
+  Alcotest.(check int) "entries" 2 (List.length entries);
+  let f file rule : Lint.Finding.t = { file; line = 1; col = 0; rule; message = "m" } in
+  Alcotest.(check bool) "prefix+star" true
+    (Lint.Allow.allowed_by_file entries (f "test/lint_fixtures/det_random.ml" "determinism-random"));
+  Alcotest.(check bool) "exact+rule" true
+    (Lint.Allow.allowed_by_file entries (f "lib/util/pool.ml" "hygiene-catchall"));
+  Alcotest.(check bool) "rule mismatch" false
+    (Lint.Allow.allowed_by_file entries (f "lib/util/pool.ml" "output-print"));
+  Alcotest.(check bool) "path mismatch" false
+    (Lint.Allow.allowed_by_file entries (f "lib/util/prng.ml" "hygiene-catchall"))
+
+let test_allow_file_suppresses_fixtures () =
+  (* Same scan as the fixture tests, but with the repo lint.allow active:
+     everything under test/lint_fixtures/ must be dropped. *)
+  let config =
+    { (Lint.Driver.default_config ~root) with paths = [ "test/lint_fixtures" ] }
+  in
+  let result = Lint.Driver.run config in
+  Alcotest.(check (list string)) "fixtures allowlisted" []
+    (List.map Lint.Finding.to_string result.findings)
+
+(* --- rule registry, scoping, CLI-surface behaviour ------------------- *)
+
+let test_rule_registry () =
+  let ids = Lint.Rules.ids in
+  Alcotest.(check int) "10 rules" 10 (List.length ids);
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq String.compare ids));
+  List.iter (fun id -> Alcotest.(check bool) id true (Lint.Rules.mem id)) ids;
+  Alcotest.(check bool) "unknown id" false (Lint.Rules.mem "no-such-rule")
+
+let test_rule_scoping () =
+  let applies = Lint.Rules.applies in
+  Alcotest.(check bool) "print banned in lib" true (applies "output-print" "lib/logic/cube.ml");
+  Alcotest.(check bool) "print ok in render" false
+    (applies "output-print" "lib/crossbar/render.ml");
+  Alcotest.(check bool) "print ok in texttable" false
+    (applies "output-print" "lib/util/texttable.ml");
+  Alcotest.(check bool) "print ok in tests" false (applies "output-print" "test/test_logic.ml");
+  Alcotest.(check bool) "print banned in fixtures" true
+    (applies "output-print" "test/lint_fixtures/out_print.ml");
+  Alcotest.(check bool) "random ok in prng" false
+    (applies "determinism-random" "lib/util/prng.ml");
+  Alcotest.(check bool) "random banned elsewhere" true
+    (applies "determinism-random" "lib/util/pool.ml");
+  Alcotest.(check bool) "wallclock ok in timing" false
+    (applies "determinism-wallclock" "lib/util/timing.ml");
+  Alcotest.(check bool) "toplevel state ok in telemetry" false
+    (applies "domain-toplevel-state" "lib/util/telemetry.ml")
+
+let test_only_filter () =
+  let config =
+    {
+      (Lint.Driver.default_config ~root) with
+      paths = [ fixture_dir ^ "det_wallclock.ml" ];
+      allow_file = None;
+      only = [ "determinism-random" ];
+    }
+  in
+  Alcotest.(check int) "other rules filtered" 0
+    (List.length (Lint.Driver.run config).findings);
+  let bad = { config with only = [ "no-such-rule" ] } in
+  Alcotest.check_raises "unknown rule rejected"
+    (Invalid_argument "mcx-lint: unknown rule \"no-such-rule\"") (fun () ->
+      ignore (Lint.Driver.run bad))
+
+let test_finding_format () =
+  let f : Lint.Finding.t =
+    { file = "lib/x.ml"; line = 3; col = 7; rule = "output-print"; message = "nope" }
+  in
+  Alcotest.(check string) "text" "lib/x.ml:3:7 [output-print] nope"
+    (Lint.Finding.to_string f)
+
+let test_json_report () =
+  let config =
+    {
+      (Lint.Driver.default_config ~root) with
+      paths = [ fixture_dir ^ "hyg_obj_magic.ml" ];
+      allow_file = None;
+    }
+  in
+  let json = Lint.Driver.report_json (Lint.Driver.run config) in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "schema tag" true (contains "\"schema\":\"mcx-lint/1\"");
+  Alcotest.(check bool) "rule id" true (contains "\"rule\":\"hygiene-obj-magic\"");
+  Alcotest.(check bool) "count" true (contains "\"count\":1")
+
+(* --- the self-hosting check ------------------------------------------ *)
+
+let test_self_host () =
+  let result = Lint.Driver.run (Lint.Driver.default_config ~root) in
+  Alcotest.(check (list string)) "repository lints clean" []
+    (List.map Lint.Finding.to_string result.findings);
+  (* The determinism guarantees lean on the typed rules, so make sure the
+     .cmt pairing actually happened rather than silently degrading to
+     source-only linting. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "typed coverage (%d files)" result.files_typed)
+    true
+    (result.files_typed >= 50)
+
+let () =
+  Alcotest.run "mcx-lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "determinism-random" `Quick test_determinism_random;
+          Alcotest.test_case "determinism-wallclock" `Quick test_determinism_wallclock;
+          Alcotest.test_case "determinism-poly-hash" `Quick test_determinism_poly_hash;
+          Alcotest.test_case "packed-poly-compare" `Quick test_packed_poly_compare;
+          Alcotest.test_case "domain-toplevel-state" `Quick test_domain_toplevel_state;
+          Alcotest.test_case "output-print" `Quick test_output_print;
+          Alcotest.test_case "output-float-json" `Quick test_output_float_json;
+          Alcotest.test_case "hygiene-obj-magic" `Quick test_hygiene_obj_magic;
+          Alcotest.test_case "hygiene-catchall" `Quick test_hygiene_catchall;
+          Alcotest.test_case "hygiene-deprecated" `Quick test_hygiene_deprecated;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "floating allow" `Quick test_floating_allow_suppresses_file;
+          Alcotest.test_case "lint.allow parsing" `Quick test_allow_file_parsing;
+          Alcotest.test_case "lint.allow suppresses fixtures" `Quick
+            test_allow_file_suppresses_fixtures;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "rule registry" `Quick test_rule_registry;
+          Alcotest.test_case "rule scoping" `Quick test_rule_scoping;
+          Alcotest.test_case "--only filter" `Quick test_only_filter;
+          Alcotest.test_case "finding format" `Quick test_finding_format;
+          Alcotest.test_case "json report" `Quick test_json_report;
+        ] );
+      ("self-host", [ Alcotest.test_case "repo lints clean" `Quick test_self_host ]);
+    ]

@@ -56,7 +56,7 @@ let test_cube_intersect () =
   (match Cube.intersect (cube "1--") (cube "-0-") with
   | Some c -> Alcotest.(check string) "meet" "10-" (Cube.to_string c)
   | None -> Alcotest.fail "expected intersection");
-  Alcotest.(check bool) "clash empty" true (Cube.intersect (cube "1--") (cube "0--") = None)
+  Alcotest.(check bool) "clash empty" true (Option.is_none (Cube.intersect (cube "1--") (cube "0--")))
 
 let test_cube_distance_supercube () =
   Alcotest.(check int) "distance 3" 3 (Cube.distance (cube "110") (cube "001"));
@@ -69,7 +69,7 @@ let test_cube_cofactor () =
   | Some c -> Alcotest.(check string) "freed" "--0" (Cube.to_string c)
   | None -> Alcotest.fail "non-empty cofactor expected");
   Alcotest.(check bool) "conflicting cofactor empty" true
-    (Cube.cofactor (cube "1-0") ~var:0 ~value:false = None);
+    (Option.is_none (Cube.cofactor (cube "1-0") ~var:0 ~value:false));
   (match Cube.cofactor (cube "1-0") ~var:1 ~value:false with
   | Some c -> Alcotest.(check string) "absent var unchanged" "1-0" (Cube.to_string c)
   | None -> Alcotest.fail "non-empty cofactor expected")
@@ -79,9 +79,9 @@ let test_cube_merge_adjacent () =
   | Some c -> Alcotest.(check string) "QM merge" "1-0" (Cube.to_string c)
   | None -> Alcotest.fail "expected merge");
   Alcotest.(check bool) "distance-2 no merge" true
-    (Cube.merge_adjacent (cube "110") (cube "001") = None);
+    (Option.is_none (Cube.merge_adjacent (cube "110") (cube "001")));
   Alcotest.(check bool) "dash mismatch no merge" true
-    (Cube.merge_adjacent (cube "1-0") (cube "110") = None)
+    (Option.is_none (Cube.merge_adjacent (cube "1-0") (cube "110")))
 
 let test_cube_sharp () =
   (* --- # 1-- = 0-- ; disjointness and exactness *)
@@ -654,7 +654,7 @@ let prop_cube_sharp_disjoint =
       let rec pairwise = function
         | [] -> true
         | x :: rest ->
-          List.for_all (fun y -> Cube.intersect x y = None) rest && pairwise rest
+          List.for_all (fun y -> Option.is_none (Cube.intersect x y)) rest && pairwise rest
       in
       pairwise pieces)
 
@@ -736,7 +736,7 @@ let prop_intersect_iff_distance_zero =
         (array_size (pure 6) (oneofl [ Literal.Pos; Literal.Neg; Literal.Absent ])))
     (fun (a, b) ->
       let a = Cube.of_literals a and b = Cube.of_literals b in
-      Bool.equal (Cube.intersect a b <> None) (Cube.distance a b = 0))
+      Bool.equal (Option.is_some (Cube.intersect a b)) (Cube.distance a b = 0))
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
