@@ -55,7 +55,7 @@ let time_ns_per_op ~ops run =
         let (), dt = Mcx.Util.Timing.time run in
         1e9 *. dt /. float_of_int ops)
   in
-  List.nth (List.sort compare samples) 2
+  List.nth (List.sort Float.compare samples) 2
 
 type result = {
   op : string;

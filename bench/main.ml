@@ -13,7 +13,15 @@
                   PRNG stream is derived from (seed, experiment, trial
                   index), so the experiment output on stdout and in the
                   CSVs is byte-identical at any job count; only the
-                  wall-clock report on stderr changes. *)
+                  wall-clock report on stderr changes.
+     MCX_CHECKPOINT  journal completed trials to <dir>/journal.jsonl;
+                  a killed run re-launched with the same settings
+                  replays them and produces identical stdout (see
+                  EXPERIMENTS.md "Checkpointing & fault tolerance").
+     MCX_TRIAL_RETRIES / MCX_FAULT_RATE  trial-failure retry budget and
+                  deterministic fault injection; permanent failures
+                  degrade to partial results, a failed-trial manifest
+                  and exit status 4. *)
 
 let samples_default fallback =
   match Sys.getenv_opt "MCX_SAMPLES" with
@@ -406,4 +414,9 @@ let () =
   if !wall_events > 0 then
     Printf.eprintf "[mcx] total     wall %7.2fs over %d Monte Carlo experiments (MCX_JOBS=%d)\n%!"
       !wall_seconds !wall_events
-      (Mcx.Util.Pool.jobs (pool ()))
+      (Mcx.Util.Pool.jobs (pool ()));
+  (* Degradation protocol: tables above are already printed (partial
+     where trials failed permanently); record the failures durably and
+     exit nonzero so CI notices. *)
+  let code = Mcx.Util.Checkpoint.finalize () in
+  if code <> 0 then exit code

@@ -291,7 +291,7 @@ let bench_cmd =
 (* --- experiment --- *)
 
 let experiment_run () name samples seed =
-  match name with
+  (match name with
   | "fig6" ->
     let panels = Mcx.Experiments.Fig6.run ?samples ~seed () in
     print_string (Mcx.Util.Texttable.render (Mcx.Experiments.Fig6.summary_table panels))
@@ -333,7 +333,12 @@ let experiment_run () name samples seed =
       "memx: unknown experiment %S \
        (fig6|table1|table2|yield|mldefect|ratesweep|ablation|tradeoff|aging|transient|margin)\n"
       other;
-    exit 1
+    exit 1);
+  (* Degradation protocol: the tables above are already printed (partial
+     where trials failed permanently); persist the failed-trial manifest
+     and report the failure through the exit status. *)
+  let code = Mcx.Util.Checkpoint.finalize () in
+  if code <> 0 then exit code
 
 let experiment_cmd =
   let experiment_name =

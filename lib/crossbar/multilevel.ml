@@ -36,7 +36,7 @@ let place ?row_assignment ?physical_rows (mapped : Tech_map.mapped) =
   for id = 0 to n_gates - 1 do
     List.iter
       (function
-        | Signal.Gate g -> feeds.(g) <- true
+        | Signal.Gate { id = g; _ } -> feeds.(g) <- true
         | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> ())
       (Network.gate_fanins net id)
   done;
@@ -76,7 +76,7 @@ let place ?row_assignment ?physical_rows (mapped : Tech_map.mapped) =
         | Some c -> Bmatrix.set program r c true
         | None -> (
           match fanin with
-          | Signal.Gate g ->
+          | Signal.Gate { id = g; _ } ->
             (match conn_col_of_gate.(g) with
             | Some c -> Bmatrix.set program r c true
             | None -> assert false)
@@ -93,7 +93,7 @@ let place ?row_assignment ?physical_rows (mapped : Tech_map.mapped) =
   List.iteri
     (fun k signal ->
       (match signal with
-      | Signal.Gate g ->
+      | Signal.Gate { id = g; _ } ->
         Bmatrix.set program (prow g)
           (if mapped.Tech_map.negated.(k) then output_comp_col k else output_main_col k)
           true
@@ -168,7 +168,7 @@ let run_impl ?defects ?upset t inputs =
   for id = 0 to n_gates - 1 do
     List.iter
       (function
-        | Signal.Gate g -> consumers.(g) <- id :: consumers.(g)
+        | Signal.Gate { id = g; _ } -> consumers.(g) <- id :: consumers.(g)
         | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> ())
       (Network.gate_fanins net id)
   done;
@@ -205,7 +205,7 @@ let run_impl ?defects ?upset t inputs =
     List.iteri
       (fun k signal ->
         match signal with
-        | Signal.Gate g when g = id ->
+        | Signal.Gate { id = g; _ } when g = id ->
           let c =
             if t.mapped.Tech_map.negated.(k) then output_comp_col k else output_main_col k
           in

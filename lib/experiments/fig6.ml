@@ -31,18 +31,31 @@ let one_sample prng ~n_inputs =
     gates = Mcx_netlist.Network.gate_count mapped.Mcx_netlist.Tech_map.network;
   }
 
+let sample_codec =
+  Checkpoint.Codec.(
+    conv
+      (fun s -> (s.n_products, s.two_level_area, s.multi_level_area, s.gates))
+      (fun (n_products, two_level_area, multi_level_area, gates) ->
+        { n_products; two_level_area; multi_level_area; gates })
+      (quad int int int int))
+
 let run_panel ?pool ?(samples = 200) ~seed ~n_inputs () =
   let pool = match pool with Some p -> p | None -> Pool.default () in
+  let ckpt = Checkpoint.start ~experiment:"fig6" ~seed () in
   let key = Prng.Key.(int (string (root seed) "fig6") n_inputs) in
-  let raw =
-    Array.to_list
-      (Pool.map pool samples (fun i -> one_sample (Prng.derive key i) ~n_inputs))
+  let section = Printf.sprintf "inputs=%d samples=%d" n_inputs samples in
+  let outcomes =
+    Checkpoint.map ckpt ~pool ~section ~n:samples ~codec:sample_codec (fun i ->
+        one_sample (Prng.derive key i) ~n_inputs)
   in
+  let raw = List.filter_map Fun.id (Array.to_list outcomes) in
   let sorted =
     List.stable_sort (fun a b -> Int.compare a.n_products b.n_products) raw
   in
   let wins = List.filter (fun s -> s.multi_level_area < s.two_level_area) raw in
-  let success_rate = 100. *. float_of_int (List.length wins) /. float_of_int samples in
+  let success_rate =
+    100. *. float_of_int (List.length wins) /. float_of_int (max 1 (List.length raw))
+  in
   { n_inputs; samples = sorted; success_rate }
 
 let run ?pool ?(samples = 200) ?(input_sizes = [ 8; 9; 10; 15 ]) ~seed () =

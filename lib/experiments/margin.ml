@@ -27,18 +27,35 @@ let run ?(widths = [ 1; 8; 16; 32; 64; 128; 192; 256; 320 ]) ?benchmarks () =
   let curve =
     List.map (fun width -> { width; margin_volts = Analog.sense_margin ~width () }) widths
   in
-  let benchmark_row bench =
-    let cover = Suite.cover bench in
-    let report = Cost.two_level cover in
-    let columns = report.Cost.cols in
-    {
-      name = bench.Suite.name;
-      columns;
-      margin_volts = Analog.sense_margin ~width:columns ();
-      reliable = columns <= limit;
-    }
+  (* The analog curve is trivial; the per-benchmark rows need a cover
+     build each, so those are the journaled unit. *)
+  let ckpt = Mcx_util.Checkpoint.start ~experiment:"margin" ~seed:0 () in
+  let benches = Array.of_list selected in
+  let section =
+    Printf.sprintf "benches=%s"
+      (String.concat "," (List.map (fun b -> b.Suite.name) selected))
   in
-  { curve; benchmarks = List.map benchmark_row selected; max_reliable_width = limit }
+  let outcomes =
+    Mcx_util.Checkpoint.map ckpt
+      ~pool:(Mcx_util.Pool.default ())
+      ~section ~n:(Array.length benches)
+      ~codec:Mcx_util.Checkpoint.Codec.(triple int float bool)
+      (fun i ->
+        let cover = Suite.cover benches.(i) in
+        let columns = (Cost.two_level cover).Cost.cols in
+        (columns, Analog.sense_margin ~width:columns (), columns <= limit))
+  in
+  let rows =
+    List.filter_map Fun.id
+      (List.mapi
+         (fun i outcome ->
+           Option.map
+             (fun (columns, margin_volts, reliable) ->
+               { name = benches.(i).Suite.name; columns; margin_volts; reliable })
+             outcome)
+         (Array.to_list outcomes))
+  in
+  { curve; benchmarks = rows; max_reliable_width = limit }
 
 let to_tables result =
   let curve = Mcx_util.Texttable.create [ "line width"; "sense margin (V)" ] in

@@ -16,6 +16,7 @@ let run ?pool ?(samples = 100)
     ?(defect_rates = [ 0.02; 0.05; 0.08; 0.10; 0.12; 0.15; 0.20 ]) ~seed ~benchmark () =
   Telemetry.span "experiment.ratesweep" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Pool.default () in
+  let ckpt = Checkpoint.start ~experiment:"ratesweep" ~seed () in
   let bench = Suite.find benchmark in
   let cover = Suite.cover bench in
   let fm = Function_matrix.build cover in
@@ -41,14 +42,24 @@ let run ?pool ?(samples = 100)
       in
       (hba, ea, ann)
     in
-    let hba, ea, ann =
-      Pool.map_reduce pool ~n:samples ~map:trial ~init:(0, 0, 0)
-        ~fold:(fun (h, e, a) (hba, ea, ann) ->
+    let section =
+      Printf.sprintf "bench=%s rate=%s samples=%d" benchmark
+        (Json_out.float_repr defect_rate)
+        samples
+    in
+    let outcomes =
+      Checkpoint.map ckpt ~pool ~section ~n:samples
+        ~codec:Checkpoint.Codec.(triple bool bool bool)
+        trial
+    in
+    let (hba, ea, ann), completed =
+      Checkpoint.fold_completed outcomes ~init:(0, 0, 0)
+        ~f:(fun (h, e, a) (hba, ea, ann) ->
           ( (if hba then h + 1 else h),
             (if ea then e + 1 else e),
             if ann then a + 1 else a ))
     in
-    let pct c = 100. *. float_of_int c /. float_of_int samples in
+    let pct c = 100. *. float_of_int c /. float_of_int (max 1 completed) in
     { defect_rate; hba_psucc = pct hba; ea_psucc = pct ea; annealing_psucc = pct ann }
   in
   { benchmark; samples; points = List.map point defect_rates }

@@ -40,8 +40,18 @@ type trial = {
   ea_dt : float;
 }
 
+let trial_codec =
+  Checkpoint.Codec.(
+    conv
+      (fun t ->
+        ((t.hba_hit, t.hba_valid, t.hba_dt), (t.ea_hit, t.ea_valid, t.ea_dt)))
+      (fun ((hba_hit, hba_valid, hba_dt), (ea_hit, ea_valid, ea_dt)) ->
+        { hba_hit; hba_valid; hba_dt; ea_hit; ea_valid; ea_dt })
+      (pair (triple bool bool float) (triple bool bool float)))
+
 let run_row ?pool ?(samples = 200) ?(defect_rate = 0.10) ~seed bench =
   let pool = match pool with Some p -> p | None -> Pool.default () in
+  let ckpt = Checkpoint.start ~experiment:"table2" ~seed () in
   let cover, dual_used = implementation_cover bench in
   let fm = Function_matrix.build cover in
   let report = Cost.two_level cover in
@@ -68,9 +78,17 @@ let run_row ?pool ?(samples = 200) ?(defect_rate = 0.10) ~seed bench =
     { hba_hit; hba_valid; hba_dt; ea_hit; ea_valid; ea_dt }
   in
   let hba_time = Timing.Counter.create () and ea_time = Timing.Counter.create () in
-  let hba_hits, ea_hits, hba_all_valid, ea_all_valid =
-    Pool.map_reduce pool ~n:samples ~map:trial ~init:(0, 0, true, true)
-      ~fold:(fun (hba, ea, hba_ok, ea_ok) t ->
+  let section =
+    Printf.sprintf "bench=%s rate=%s samples=%d" bench.Suite.name
+      (Json_out.float_repr defect_rate)
+      samples
+  in
+  let outcomes =
+    Checkpoint.map ckpt ~pool ~section ~n:samples ~codec:trial_codec trial
+  in
+  let (hba_hits, ea_hits, hba_all_valid, ea_all_valid), completed =
+    Checkpoint.fold_completed outcomes ~init:(0, 0, true, true)
+      ~f:(fun (hba, ea, hba_ok, ea_ok) t ->
         Timing.Counter.add hba_time t.hba_dt;
         Timing.Counter.add ea_time t.ea_dt;
         ( (if t.hba_hit then hba + 1 else hba),
@@ -78,7 +96,7 @@ let run_row ?pool ?(samples = 200) ?(defect_rate = 0.10) ~seed bench =
           hba_ok && t.hba_valid,
           ea_ok && t.ea_valid ))
   in
-  let pct hits = 100. *. float_of_int hits /. float_of_int samples in
+  let pct hits = 100. *. float_of_int hits /. float_of_int (max 1 completed) in
   {
     name = bench.Suite.name;
     inputs = Mo_cover.n_inputs cover;

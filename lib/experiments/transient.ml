@@ -21,6 +21,7 @@ let run ?pool ?(evaluations = 300) ?(upset_rates = [ 1e-4; 3e-4; 1e-3; 3e-3 ]) ~
     ~benchmark () =
   Telemetry.span "experiment.transient" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Pool.default () in
+  let ckpt = Checkpoint.start ~experiment:"transient" ~seed () in
   let bench = Suite.find benchmark in
   let cover = Suite.cover bench in
   let n = Mo_cover.n_inputs cover in
@@ -40,12 +41,22 @@ let run ?pool ?(evaluations = 300) ?(upset_rates = [ 1e-4; 3e-4; 1e-3; 3e-3 ]) ~
       in
       (two_wrong, multi_wrong)
     in
-    let two_errors, multi_errors =
-      Pool.map_reduce pool ~n:evaluations ~map:trial ~init:(0, 0)
-        ~fold:(fun (two, multi) (two_wrong, multi_wrong) ->
+    let section =
+      Printf.sprintf "bench=%s upset=%s evals=%d" benchmark
+        (Json_out.float_repr upset_rate)
+        evaluations
+    in
+    let outcomes =
+      Checkpoint.map ckpt ~pool ~section ~n:evaluations
+        ~codec:Checkpoint.Codec.(pair bool bool)
+        trial
+    in
+    let (two_errors, multi_errors), completed =
+      Checkpoint.fold_completed outcomes ~init:(0, 0)
+        ~f:(fun (two, multi) (two_wrong, multi_wrong) ->
           ((if two_wrong then two + 1 else two), if multi_wrong then multi + 1 else multi))
     in
-    let pct c = 100. *. float_of_int c /. float_of_int evaluations in
+    let pct c = 100. *. float_of_int c /. float_of_int (max 1 completed) in
     {
       upset_rate;
       two_level_error_rate = pct two_errors;

@@ -77,6 +77,13 @@ let all : t list =
       kind = Typed;
     };
     {
+      id = "float-sort-poly-compare";
+      synopsis =
+        "Array.sort/List.sort with the polymorphic comparator at float; use Float.compare \
+         (no per-element boxing, and NaN gets a total order)";
+      kind = Typed;
+    };
+    {
       id = "domain-toplevel-state";
       synopsis =
         "top-level mutable state (ref/Hashtbl.create/Buffer.create/...) in lib/ races \
@@ -125,8 +132,8 @@ let applies rule rel =
   match rule with
   | "determinism-random" -> not (is_one_of rel prng_owners)
   | "determinism-wallclock" -> not (is_one_of rel clock_owners)
-  | "determinism-poly-hash" | "packed-poly-compare" | "hygiene-obj-magic"
-  | "hygiene-catchall" | "hygiene-deprecated" ->
+  | "determinism-poly-hash" | "packed-poly-compare" | "float-sort-poly-compare"
+  | "hygiene-obj-magic" | "hygiene-catchall" | "hygiene-deprecated" ->
     true
   | "domain-toplevel-state" -> in_lib rel && not (is_one_of rel dls_guarded)
   | "output-print" -> in_lib rel && not (is_one_of rel render_owners)

@@ -36,6 +36,24 @@ let poly_fns =
     "Stdlib.Array.mem";
   ]
 
+(* Sort entry points whose comparator argument decides element order. A
+   polymorphic comparator instantiated at [float] works by boxing and
+   structural comparison — slow on the Monte Carlo hot path, and it was
+   the percentile bug: use [Float.compare]. *)
+let sort_fns =
+  [
+    "Stdlib.Array.sort";
+    "Stdlib.Array.stable_sort";
+    "Stdlib.Array.fast_sort";
+    "Stdlib.List.sort";
+    "Stdlib.List.stable_sort";
+    "Stdlib.List.fast_sort";
+    "Stdlib.List.sort_uniq";
+  ]
+
+(* The polymorphic comparators a sort site must not use at float. *)
+let poly_comparators = [ "Stdlib.compare"; "Stdlib.Poly.compare" ]
+
 (* Last segment of a dune-mangled module name: "Mcx_logic__Cube" -> "Cube". *)
 let unmangle seg =
   let n = String.length seg in
@@ -77,6 +95,19 @@ let type_mentions_packed ~self ty =
     end
   in
   match walk ty with () -> None | exception Found name -> Some name
+
+(* Is [ty] (after link/subst chasing) the predefined [float]? *)
+let rec type_is_float ty =
+  match Types.get_desc ty with
+  | Tconstr (p, [], _) -> Path.name p = "float"
+  | Tlink t | Tsubst (t, _) -> type_is_float t
+  | _ -> false
+
+(* A comparator instantiated as [float -> float -> int]? *)
+let comparator_at_float ty =
+  match Types.get_desc ty with
+  | Tarrow (_, a, _, _) -> type_is_float a
+  | _ -> false
 
 let deprecated_attr (vd : Types.value_description) =
   List.exists
@@ -123,6 +154,19 @@ let run ~file ~modname (str : Typedtree.structure) =
       end;
       if deprecated_attr vd then
         add ~rule:"hygiene-deprecated" ~loc (Printf.sprintf "%s is deprecated" name)
+    | Texp_apply ({ exp_desc = Texp_ident (fn, _, _); _ }, args)
+      when List.mem (Path.name fn) sort_fns -> begin
+      match args with
+      | (_, Some ({ exp_desc = Texp_ident (cmp, { loc; _ }, _); _ } as cexp)) :: _
+        when List.mem (Path.name cmp) poly_comparators
+             && comparator_at_float cexp.exp_type ->
+        add ~rule:"float-sort-poly-compare" ~loc
+          (Printf.sprintf
+             "%s with polymorphic %s at float; use Float.compare (unboxed compare, \
+              total order over NaN)"
+             (Path.name fn) (Path.name cmp))
+      | _ -> ()
+    end
     | _ -> ());
     super.expr it e
   in

@@ -46,7 +46,7 @@ let to_verilog ?(module_name = "mcx_netlist") ?input_names ?output_names
     | Signal.Const false -> "1'b0"
     | Signal.Input i -> input_arr.(i)
     | Signal.Input_neg i -> input_arr.(i) ^ "_n"
-    | Signal.Gate id -> Printf.sprintf "g%d" id
+    | Signal.Gate { id; _ } -> Printf.sprintf "g%d" id
   in
   for id = 0 to n_gates - 1 do
     Printf.bprintf buf "  nand (g%d, %s);\n" id
@@ -98,7 +98,7 @@ let to_dot ?(graph_name = "mcx_netlist") (mapped : Tech_map.mapped) =
   let edge ppf_target = function
     | Signal.Input i -> Printf.bprintf buf "  x%d -> %s;\n" i ppf_target
     | Signal.Input_neg i -> Printf.bprintf buf "  x%d -> %s [style=dashed];\n" i ppf_target
-    | Signal.Gate g -> Printf.bprintf buf "  g%d -> %s;\n" g ppf_target
+    | Signal.Gate { id = g; _ } -> Printf.bprintf buf "  g%d -> %s;\n" g ppf_target
     | Signal.Const b ->
       Printf.bprintf buf "  const%b -> %s [style=dotted];\n" b ppf_target
   in

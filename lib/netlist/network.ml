@@ -1,4 +1,12 @@
+(* Every network gets a distinct provenance stamp, embedded in the gate
+   signals it hands out, so signals cannot migrate between networks.
+   Monotonically increasing from a process-wide atomic: stamps never
+   influence synthesized structure or printed output, only identity
+   checks, so the counter does not threaten determinism. *)
+let next_stamp = Atomic.make 0
+
 type t = {
+  stamp : int;
   n_inputs : int;
   fanin_limit : int;
   mutable gates : Signal.t list array;  (* gate id -> sorted fan-ins *)
@@ -12,6 +20,7 @@ let create ~n_inputs ~fanin_limit =
   if n_inputs < 0 then invalid_arg "Network.create: negative n_inputs";
   if fanin_limit < 2 then invalid_arg "Network.create: fanin_limit < 2";
   {
+    stamp = Atomic.fetch_and_add next_stamp 1;
     n_inputs;
     fanin_limit;
     gates = Array.make 16 [];
@@ -34,7 +43,12 @@ let validate_signal t s =
   | Signal.Const _ -> ()
   | Signal.Input i | Signal.Input_neg i ->
     if i < 0 || i >= t.n_inputs then invalid_arg "Network: input variable out of range"
-  | Signal.Gate id ->
+  | Signal.Gate { net; id } ->
+    (* A gate from another network must not be silently accepted: its id
+       would alias whatever local gate happens to share it (or worse,
+       memo-hit onto an unrelated structure). *)
+    if net <> t.stamp then
+      invalid_arg "Network: gate signal belongs to a different network";
     if id < 0 || id >= t.n_gates then invalid_arg "Network: unknown gate signal"
 
 let alloc_gate t fanins =
@@ -47,13 +61,13 @@ let alloc_gate t fanins =
   t.gates.(id) <- fanins;
   t.n_gates <- id + 1;
   Hashtbl.replace t.memo fanins id;
-  Signal.Gate id
+  Signal.Gate { net = t.stamp; id }
 
 (* Raw gate creation on a cleaned fan-in list (sorted, unique, no constants,
    no complementary input pair, length within the limit). *)
 let gate t fanins =
   match Hashtbl.find_opt t.memo fanins with
-  | Some id -> Signal.Gate id
+  | Some id -> Signal.Gate { net = t.stamp; id }
   | None -> alloc_gate t fanins
 
 let rec nand t signals =
@@ -98,7 +112,7 @@ and inv t s =
   | Some s' -> s'
   | None -> (
     match s with
-    | Signal.Gate id -> (
+    | Signal.Gate { id; _ } -> (
       match Hashtbl.find_opt t.inverter_memo id with
       | Some cached -> cached
       | None ->
@@ -126,7 +140,7 @@ let feeds_a_gate t =
   let feeders = Array.make t.n_gates false in
   for id = 0 to t.n_gates - 1 do
     List.iter
-      (function Signal.Gate g -> feeders.(g) <- true | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> ())
+      (function Signal.Gate { id = g; _ } -> feeders.(g) <- true | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> ())
       t.gates.(id)
   done;
   feeders
@@ -144,7 +158,7 @@ let total_fanin t =
 let levels t =
   let level = Array.make (max 1 t.n_gates) 0 in
   let signal_level = function
-    | Signal.Gate g -> level.(g)
+    | Signal.Gate { id = g; _ } -> level.(g)
     | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> 0
   in
   for id = 0 to t.n_gates - 1 do
@@ -159,7 +173,7 @@ let eval t inputs =
     | Signal.Const b -> b
     | Signal.Input i -> inputs.(i)
     | Signal.Input_neg i -> not inputs.(i)
-    | Signal.Gate g -> values.(g)
+    | Signal.Gate { id = g; _ } -> values.(g)
   in
   for id = 0 to t.n_gates - 1 do
     values.(id) <- not (List.for_all signal_value t.gates.(id))
@@ -170,7 +184,7 @@ let prune t =
   let outs = outputs t in
   let live = Array.make (max 1 t.n_gates) false in
   let rec mark = function
-    | Signal.Gate g ->
+    | Signal.Gate { id = g; _ } ->
       if not live.(g) then begin
         live.(g) <- true;
         List.iter mark t.gates.(g)
@@ -181,16 +195,16 @@ let prune t =
   let fresh = create ~n_inputs:t.n_inputs ~fanin_limit:t.fanin_limit in
   let rename = Array.make (max 1 t.n_gates) (-1) in
   let rename_signal = function
-    | Signal.Gate g ->
+    | Signal.Gate { id = g; _ } ->
       assert (rename.(g) >= 0);
-      Signal.Gate rename.(g)
+      Signal.Gate { net = fresh.stamp; id = rename.(g) }
     | (Signal.Const _ | Signal.Input _ | Signal.Input_neg _) as s -> s
   in
   for id = 0 to t.n_gates - 1 do
     if live.(id) then begin
       let fanins = List.map rename_signal t.gates.(id) in
       match alloc_gate fresh fanins with
-      | Signal.Gate fresh_id -> rename.(id) <- fresh_id
+      | Signal.Gate { id = fresh_id; _ } -> rename.(id) <- fresh_id
       | Signal.Const _ | Signal.Input _ | Signal.Input_neg _ -> assert false
     end
   done;

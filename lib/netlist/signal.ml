@@ -1,19 +1,31 @@
-type t = Const of bool | Input of int | Input_neg of int | Gate of int
+type t =
+  | Const of bool
+  | Input of int
+  | Input_neg of int
+  | Gate of { net : int; id : int }
 
 let equal a b =
   match (a, b) with
   | Const x, Const y -> Bool.equal x y
-  | Input i, Input j | Input_neg i, Input_neg j | Gate i, Gate j -> i = j
+  | Input i, Input j | Input_neg i, Input_neg j -> i = j
+  | Gate g, Gate h -> g.net = h.net && g.id = h.id
   | (Const _ | Input _ | Input_neg _ | Gate _), _ -> false
 
 let rank = function Const _ -> 0 | Input _ -> 1 | Input_neg _ -> 2 | Gate _ -> 3
-let payload = function Const b -> Bool.to_int b | Input i | Input_neg i | Gate i -> i
+let payload = function Const b -> Bool.to_int b | Input i | Input_neg i -> i | Gate g -> g.id
 
 let compare a b =
-  let c = Int.compare (rank a) (rank b) in
-  if c <> 0 then c else Int.compare (payload a) (payload b)
+  match (a, b) with
+  | Gate g, Gate h ->
+    let c = Int.compare g.net h.net in
+    if c <> 0 then c else Int.compare g.id h.id
+  | _ ->
+    let c = Int.compare (rank a) (rank b) in
+    if c <> 0 then c else Int.compare (payload a) (payload b)
 
-let hash s = (payload s * 4) + rank s
+let hash = function
+  | Gate g -> (((g.net * 31) + g.id) * 4) + 3
+  | s -> (payload s * 4) + rank s
 
 let negate_cheaply = function
   | Const b -> Some (Const (not b))
@@ -30,4 +42,4 @@ let pp ppf = function
   | Const b -> Format.fprintf ppf "%d" (Bool.to_int b)
   | Input i -> Format.fprintf ppf "x%d" i
   | Input_neg i -> Format.fprintf ppf "x%d'" i
-  | Gate i -> Format.fprintf ppf "g%d" i
+  | Gate g -> Format.fprintf ppf "g%d" g.id

@@ -9,7 +9,13 @@ type t =
   | Const of bool
   | Input of int  (** positive literal of input variable [i] *)
   | Input_neg of int  (** complemented literal of input variable [i] *)
-  | Gate of int  (** output of gate [id] *)
+  | Gate of { net : int; id : int }
+      (** Output of gate [id] of the network whose provenance stamp is
+          [net]. Gate ids are dense per network (usable as array
+          indices); the stamp exists so a {!Network} can reject signals
+          from a different network instead of silently structural-
+          hashing them onto an unrelated local gate. Obtain gate
+          signals from [Network.nand] — never construct them by hand. *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

@@ -1,10 +1,13 @@
-(** Minimal JSON emission shared by the machine-readable outputs
-    ([BENCH_kernels.json], the telemetry Chrome-trace export).
+(** Minimal JSON emission and parsing shared by the machine-readable
+    outputs ([BENCH_kernels.json], the telemetry Chrome-trace export) and
+    the checkpoint journal ({!Checkpoint}).
 
-    Emission only — this repository never parses JSON, so there is no
-    reader. The value type is a plain tree; rendering is deterministic
-    (object fields are emitted in construction order, floats through
-    {!float_repr}). *)
+    The value type is a plain tree; rendering is deterministic (object
+    fields are emitted in construction order, floats through
+    {!float_repr}). The reader ({!of_string}) exists for replaying the
+    checkpoint journal: it accepts exactly the compact subset this module
+    emits plus insignificant whitespace, and round-trips every emitted
+    value ([of_string (to_string v)] re-serializes to [to_string v]). *)
 
 type t =
   | Null
@@ -35,3 +38,32 @@ val to_string : t -> string
 
 val write_file : string -> t -> unit
 (** Write compact rendering plus a trailing newline. *)
+
+(** {2 Parsing (journal replay)} *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed, trailing
+    garbage rejected). Numbers without [.], [e] or [E] that fit an OCaml
+    [int] parse as [Int], everything else as [Float], so a value emitted
+    by {!to_string} parses back to a tree with the same serialization.
+    [Error msg] carries a byte offset. *)
+
+(** {2 Lenient accessors}
+
+    [Int]/[Float] are interchangeable where a float is expected (the
+    emitter prints [Float 100.] as [100], which parses as [Int 100]). All
+    return [None] on a type mismatch rather than raising, so a corrupted
+    journal line degrades to "re-run the trial". *)
+
+val member : string -> t -> t option
+(** First binding of the field in an [Obj]; [None] otherwise. *)
+
+val to_bool_opt : t -> bool option
+val to_int_opt : t -> int option
+
+val to_float_opt : t -> float option
+(** Accepts [Float], [Int] and [Null] (the emitted form of NaN). [Null]
+    maps to [Float.nan]. *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -159,3 +159,46 @@ let map pool n f =
   end
 
 let map_reduce pool ~n ~map:f ~init ~fold = Array.fold_left fold init (map pool n f)
+
+(* --- trial-level fault isolation ----------------------------------- *)
+
+exception Cancelled
+
+type 'a outcome =
+  | Done of 'a
+  | Skipped
+  | Failed of { error : string; backtrace : string; attempts : int }
+
+let default_retries () =
+  match Sys.getenv_opt "MCX_TRIAL_RETRIES" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some r when r >= 0 -> min r 16
+    | Some _ | None -> 2)
+  | None -> 2
+
+let map_isolated pool ?retries n f =
+  let retries = match retries with Some r -> max 0 r | None -> default_retries () in
+  let isolated i =
+    let rec attempt k =
+      (* Not a swallow: the failure is captured as a [Failed] outcome the
+         caller must consume; [Cancelled] short-circuits the retries so an
+         interrupted sweep drains promptly. *)
+      (match f ~attempt:k i with
+      | v -> Done v
+      | exception Cancelled -> Skipped
+      | exception e ->
+        let backtrace = Printexc.get_backtrace () in
+        if k < retries then begin
+          Telemetry.count "pool.trial.retried";
+          attempt (k + 1)
+        end
+        else begin
+          Telemetry.count "pool.trial.failed";
+          Failed { error = Printexc.to_string e; backtrace; attempts = k + 1 }
+        end)
+      [@mcx.lint.allow "hygiene-catchall"]
+    in
+    attempt 0
+  in
+  map pool n isolated

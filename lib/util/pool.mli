@@ -44,3 +44,35 @@ val map_reduce : t -> n:int -> map:(int -> 'a) -> init:'b -> fold:('b -> 'a -> '
 val shutdown : t -> unit
 (** Stop and join the worker domains. Idempotent; the pool must not be
     used afterwards. *)
+
+(** {2 Trial-level fault isolation}
+
+    {!map} tears the whole batch down on the first exception — correct for
+    programming errors in tests, but an hours-long Monte Carlo campaign
+    should not lose every completed trial to one bad one. {!map_isolated}
+    confines a failure to its own index: the trial is retried, and a trial
+    that keeps failing becomes a {!Failed} outcome (message + backtrace +
+    attempt count) instead of an exception. *)
+
+exception Cancelled
+(** Raised {e by the trial function} to abandon an index without it
+    counting as a failure (and without burning retries) — the cooperative
+    cancellation path {!Checkpoint} uses after SIGINT/SIGTERM. *)
+
+type 'a outcome =
+  | Done of 'a
+  | Skipped  (** The trial raised {!Cancelled} on some attempt. *)
+  | Failed of { error : string; backtrace : string; attempts : int }
+
+val default_retries : unit -> int
+(** [MCX_TRIAL_RETRIES] when set to a non-negative integer (clamped to
+    16), else 2. Read per call, so tests can flip the variable. *)
+
+val map_isolated : t -> ?retries:int -> int -> (attempt:int -> int -> 'a) -> 'a outcome array
+(** [map_isolated pool n f] is {!map} with per-index isolation: index [i]
+    runs [f ~attempt:0 i]; if that raises, it is retried as
+    [f ~attempt:1 i], ... up to [retries] (default {!default_retries})
+    times, then yields [Failed]. The attempt number lets deterministic
+    fault injection vary per retry while everything stays independent of
+    scheduling. Retries and permanent failures are counted under the
+    [pool.trial.retried] / [pool.trial.failed] telemetry counters. *)

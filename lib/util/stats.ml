@@ -6,29 +6,43 @@ let mean xs =
   require_nonempty "mean" xs;
   List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 
+(* One Welford pass: count, running mean and sum of squared deviations.
+   The two-pass formulation re-walked the list up to four times (mean +
+   List.length per moment) — on the paper-scale sweeps these lists hold
+   10^5 samples and sit on the reporting hot path. *)
+let moments xs =
+  List.fold_left
+    (fun (n, m, m2) x ->
+      let n = n + 1 in
+      let d = x -. m in
+      let m' = m +. (d /. float_of_int n) in
+      (n, m', m2 +. (d *. (x -. m'))))
+    (0, 0., 0.) xs
+
 let variance xs =
   require_nonempty "variance" xs;
-  match xs with
-  | [ _ ] -> 0.
-  | _ ->
-    let m = mean xs in
-    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
-    sq /. float_of_int (List.length xs - 1)
+  let n, _, m2 = moments xs in
+  if n = 1 then 0. else m2 /. float_of_int (n - 1)
 
 let stddev xs = sqrt (variance xs)
 
 let ci95 xs =
   require_nonempty "ci95" xs;
-  let m = mean xs in
-  let n = float_of_int (List.length xs) in
-  let half = 1.96 *. stddev xs /. sqrt n in
+  let n, m, m2 = moments xs in
+  let sd = if n = 1 then 0. else sqrt (m2 /. float_of_int (n - 1)) in
+  let half = 1.96 *. sd /. sqrt (float_of_int n) in
   (m -. half, m +. half)
 
 let percentile xs p =
   require_nonempty "percentile" xs;
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0,100]";
   let a = Array.of_list xs in
-  Array.sort compare a;
+  (* Float.compare, not polymorphic compare: the generic comparator
+     dispatches on the boxed-float tag per comparison, an order of
+     magnitude slower on large samples (and flagged by mcx-lint's
+     float-sort-poly-compare rule). NaNs order first under the IEEE
+     total order Float.compare implements. *)
+  Array.sort Float.compare a;
   let n = Array.length a in
   if n = 1 then a.(0)
   else begin
@@ -42,9 +56,11 @@ let percentile xs p =
 let median xs = percentile xs 50.
 
 let success_rate bs =
-  require_nonempty "success_rate" (List.map (fun _ -> 0.) bs);
-  let hits = List.length (List.filter Fun.id bs) in
-  100. *. float_of_int hits /. float_of_int (List.length bs)
+  require_nonempty "success_rate" bs;
+  let n, hits =
+    List.fold_left (fun (n, h) b -> (n + 1, if b then h + 1 else h)) (0, 0) bs
+  in
+  100. *. float_of_int hits /. float_of_int n
 
 let histogram xs ~bins ~lo ~hi =
   if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";

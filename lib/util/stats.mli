@@ -5,7 +5,9 @@ val mean : float list -> float
 
 val variance : float list -> float
 (** Unbiased sample variance (n-1 denominator); 0 for singleton input.
-    @raise Invalid_argument on empty input. *)
+    Computed in a single Welford pass (so is numerically stable for
+    means far from zero, and never negative). @raise Invalid_argument
+    on empty input. *)
 
 val stddev : float list -> float
 (** Square root of {!variance}. *)
@@ -16,7 +18,8 @@ val ci95 : float list -> float * float
 
 val percentile : float list -> float -> float
 (** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation between
-    order statistics. @raise Invalid_argument on empty input or [p] out of
+    order statistics under [Float.compare]'s total order (NaNs sort
+    first). @raise Invalid_argument on empty input or [p] out of
     range. *)
 
 val median : float list -> float

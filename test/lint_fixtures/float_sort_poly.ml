@@ -1,0 +1,19 @@
+(* float-sort-poly-compare (typed): expected at lines 4 and 7. *)
+
+let bad_array (a : float array) =
+  Array.sort compare a
+
+let bad_list (l : float list) =
+  List.sort Stdlib.compare l
+
+let good_array (a : float array) =
+  Array.sort Float.compare a
+
+let good_ints (a : int array) =
+  Array.sort compare a
+
+let good_custom (a : float array) =
+  Array.sort (fun x y -> Float.compare y x) a
+
+let suppressed (a : float array) =
+  (Array.sort compare a [@mcx.lint.allow "float-sort-poly-compare"])

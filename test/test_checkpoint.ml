@@ -1,0 +1,376 @@
+(* Checkpoint journal tests: replay (in-memory and from disk), torn-line
+   tolerance, deterministic fault injection at any job count, and the
+   degradation protocol (failures, manifest, exit code).
+
+   The journal registry is keyed by directory and lives for the whole
+   process, so every test works in a fresh temp directory; reloading a
+   journal "as a new process would" is simulated by copying the file to a
+   directory the registry has never seen. *)
+
+open Mcx_util
+
+let codec = Checkpoint.Codec.int
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "mcx-ckpt-test-%d-%d" (Unix.getpid ()) !tmp_counter)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* Copy [src_dir]'s journal into a brand-new directory, optionally
+   transforming the bytes — the moral equivalent of restarting the
+   process on a (possibly damaged) journal. *)
+let copied_journal ?(transform = Fun.id) src_dir =
+  let dst = fresh_dir () in
+  Sys.mkdir dst 0o755;
+  write_file
+    (Filename.concat dst "journal.jsonl")
+    (transform (read_file (Filename.concat src_dir "journal.jsonl")));
+  dst
+
+let inline_pool () = Pool.create ~jobs:1 ()
+
+(* --- replay ----------------------------------------------------------- *)
+
+let test_replay_in_process () =
+  Checkpoint.reset ();
+  let dir = fresh_dir () in
+  let ckpt = Checkpoint.start ~dir ~experiment:"replay" ~seed:1 () in
+  let section = "s n=8" in
+  let r1 =
+    Checkpoint.map ckpt ~pool:(inline_pool ()) ~section ~n:8 ~codec (fun i -> i * i)
+  in
+  Alcotest.(check (array (option int)))
+    "first run completes"
+    (Array.init 8 (fun i -> Some (i * i)))
+    r1;
+  (* A second start on the same directory must serve every trial from the
+     journal: the trial function is never called. *)
+  let ckpt2 = Checkpoint.start ~dir ~experiment:"replay" ~seed:1 () in
+  let calls = ref 0 in
+  let r2 =
+    Checkpoint.map ckpt2 ~pool:(inline_pool ()) ~section ~n:8 ~codec (fun i ->
+        incr calls;
+        i * i)
+  in
+  Alcotest.(check int) "no trial re-ran" 0 !calls;
+  Alcotest.(check (array (option int))) "replay identical" r1 r2
+
+let test_replay_from_disk () =
+  Checkpoint.reset ();
+  let dir = fresh_dir () in
+  let ckpt = Checkpoint.start ~dir ~experiment:"disk" ~seed:9 () in
+  let section = "s n=6" in
+  let r1 =
+    Checkpoint.map ckpt ~pool:(inline_pool ()) ~section ~n:6 ~codec (fun i -> 7 * i)
+  in
+  let dir2 = copied_journal dir in
+  let ckpt2 = Checkpoint.start ~dir:dir2 ~experiment:"disk" ~seed:9 () in
+  let calls = ref 0 in
+  let r2 =
+    Checkpoint.map ckpt2 ~pool:(inline_pool ()) ~section ~n:6 ~codec (fun i ->
+        incr calls;
+        7 * i)
+  in
+  Alcotest.(check int) "loaded journal replays all trials" 0 !calls;
+  Alcotest.(check (array (option int))) "disk replay identical" r1 r2
+
+let test_section_mismatch_reruns () =
+  Checkpoint.reset ();
+  let dir = fresh_dir () in
+  let ckpt = Checkpoint.start ~dir ~experiment:"sect" ~seed:4 () in
+  let (_ : int option array) =
+    Checkpoint.map ckpt ~pool:(inline_pool ()) ~section:"samples=4" ~n:4 ~codec Fun.id
+  in
+  (* A different section string pins different trial parameters: nothing
+     may be served from the journal. *)
+  let calls = ref 0 in
+  let (_ : int option array) =
+    Checkpoint.map ckpt ~pool:(inline_pool ()) ~section:"samples=5" ~n:4 ~codec
+      (fun i ->
+        incr calls;
+        i)
+  in
+  Alcotest.(check int) "all trials re-ran" 4 !calls
+
+(* --- interruption and resume ------------------------------------------ *)
+
+let test_partial_then_resume () =
+  Checkpoint.reset ();
+  let dir = fresh_dir () in
+  let section = "s n=12" in
+  let ckpt = Checkpoint.start ~dir ~experiment:"partial" ~seed:2 () in
+  (* First run abandons trials >= 5 via Cancelled — the cooperative path a
+     SIGINT takes — so the journal holds exactly trials 0..4. *)
+  let r1 =
+    Checkpoint.map ckpt ~pool:(inline_pool ()) ~section ~n:12 ~codec (fun i ->
+        if i >= 5 then raise Pool.Cancelled else i * 3)
+  in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "trial %d after interrupt" i)
+        (if i < 5 then Some (i * 3) else None)
+        v)
+    r1;
+  Alcotest.(check (list string)) "cancellation is not failure" []
+    (List.map (fun (f : Checkpoint.failure) -> f.error) (Checkpoint.failures ()));
+  (* Resume: only the missing trials run, and the merged result equals an
+     uninterrupted run. *)
+  let ran = ref [] in
+  let r2 =
+    Checkpoint.map ckpt ~pool:(inline_pool ()) ~section ~n:12 ~codec (fun i ->
+        ran := i :: !ran;
+        i * 3)
+  in
+  Alcotest.(check (list int))
+    "only missing trials ran" [ 5; 6; 7; 8; 9; 10; 11 ]
+    (List.sort compare !ran);
+  Alcotest.(check (array (option int)))
+    "resume completes the sweep"
+    (Array.init 12 (fun i -> Some (i * 3)))
+    r2
+
+let test_torn_line_reruns () =
+  Checkpoint.reset ();
+  let dir = fresh_dir () in
+  let section = "s n=5" in
+  let ckpt = Checkpoint.start ~dir ~experiment:"torn" ~seed:3 () in
+  let r1 =
+    Checkpoint.map ckpt ~pool:(inline_pool ()) ~section ~n:5 ~codec (fun i -> i + 100)
+  in
+  (* Tear the final journal line mid-write, as a kill would. *)
+  let dir2 =
+    copied_journal dir ~transform:(fun s -> String.sub s 0 (String.length s - 10))
+  in
+  let ckpt2 = Checkpoint.start ~dir:dir2 ~experiment:"torn" ~seed:3 () in
+  let calls = ref 0 in
+  let r2 =
+    Checkpoint.map ckpt2 ~pool:(inline_pool ()) ~section ~n:5 ~codec (fun i ->
+        incr calls;
+        i + 100)
+  in
+  Alcotest.(check int) "exactly the torn trial re-ran" 1 !calls;
+  Alcotest.(check (array (option int))) "result unaffected by the tear" r1 r2
+
+let test_corrupt_digest_reruns () =
+  Checkpoint.reset ();
+  let dir = fresh_dir () in
+  let section = "s n=3" in
+  let ckpt = Checkpoint.start ~dir ~experiment:"digest" ~seed:8 () in
+  let (_ : int option array) =
+    Checkpoint.map ckpt ~pool:(inline_pool ()) ~section ~n:3 ~codec (fun i -> i + 1)
+  in
+  (* Rewrite every trial line with a digest that no longer matches its
+     result: the loader must drop all of them. *)
+  let break_digests contents =
+    String.split_on_char '\n' contents
+    |> List.map (fun line ->
+           match Json_out.of_string line with
+           | Ok (Json_out.Obj fields)
+             when List.mem_assoc "trial" fields ->
+             Json_out.to_string
+               (Json_out.Obj
+                  (List.map
+                     (fun (k, v) ->
+                       if String.equal k "digest" then (k, Json_out.Str "0000") else (k, v))
+                     fields))
+           | _ -> line)
+    |> String.concat "\n"
+  in
+  let dir2 = copied_journal dir ~transform:break_digests in
+  let ckpt2 = Checkpoint.start ~dir:dir2 ~experiment:"digest" ~seed:8 () in
+  let calls = ref 0 in
+  let r2 =
+    Checkpoint.map ckpt2 ~pool:(inline_pool ()) ~section ~n:3 ~codec (fun i ->
+        incr calls;
+        i + 1)
+  in
+  Alcotest.(check int) "all tampered trials re-ran" 3 !calls;
+  Alcotest.(check (array (option int)))
+    "results rebuilt" [| Some 1; Some 2; Some 3 |] r2
+
+(* --- journal schema ---------------------------------------------------- *)
+
+let test_journal_schema () =
+  Checkpoint.reset ();
+  let dir = fresh_dir () in
+  let ckpt = Checkpoint.start ~dir ~experiment:"schema" ~seed:6 () in
+  let (_ : (int * bool) option array) =
+    Checkpoint.map ckpt ~pool:(inline_pool ()) ~section:"s" ~n:4
+      ~codec:Checkpoint.Codec.(pair int bool)
+      (fun i -> (i, i mod 2 = 0))
+  in
+  (match Checkpoint.journal_path ckpt with
+  | None -> Alcotest.fail "journal_path missing with dir set"
+  | Some path ->
+    let lines =
+      read_file path |> String.split_on_char '\n'
+      |> List.filter (fun l -> not (String.equal (String.trim l) ""))
+    in
+    Alcotest.(check int) "header + one line per trial" 5 (List.length lines);
+    (match Json_out.of_string (List.hd lines) with
+    | Ok header ->
+      Alcotest.(check (option string))
+        "schema tag" (Some "mcx-journal/1")
+        (Option.bind (Json_out.member "schema" header) Json_out.to_string_opt)
+    | Error e -> Alcotest.fail ("header does not parse: " ^ e));
+    List.iter
+      (fun line ->
+        match Json_out.of_string line with
+        | Error e -> Alcotest.fail ("trial line does not parse: " ^ e)
+        | Ok json ->
+          List.iter
+            (fun field ->
+              Alcotest.(check bool)
+                (field ^ " present") true
+                (Option.is_some (Json_out.member field json)))
+            [ "experiment"; "seed"; "section"; "trial"; "digest"; "result" ])
+      (List.tl lines))
+
+(* --- fault injection ---------------------------------------------------- *)
+
+(* Outcomes and the set of permanently failed trials must not depend on
+   the job count: injection is keyed on (seed, experiment, section, trial,
+   attempt), never on scheduling. *)
+let test_fault_injection_deterministic () =
+  Unix.putenv "MCX_FAULT_RATE" "0.4";
+  Unix.putenv "MCX_TRIAL_RETRIES" "1";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "MCX_FAULT_RATE" "";
+      Unix.putenv "MCX_TRIAL_RETRIES" "")
+    (fun () ->
+      let run jobs =
+        Checkpoint.reset ();
+        let pool = Pool.create ~jobs () in
+        let ckpt = Checkpoint.start ~experiment:"fault" ~seed:7 () in
+        let r =
+          Checkpoint.map ckpt ~pool ~section:"s n=64" ~n:64 ~codec (fun i -> i)
+        in
+        Pool.shutdown pool;
+        let failed =
+          List.sort compare
+            (List.map (fun (f : Checkpoint.failure) -> f.trial) (Checkpoint.failures ()))
+        in
+        (r, failed)
+      in
+      let r1, f1 = run 1 in
+      let r4, f4 = run 4 in
+      Alcotest.(check (array (option int))) "outcomes identical at 1 vs 4 jobs" r1 r4;
+      Alcotest.(check (list int)) "failed trials identical" f1 f4;
+      Alcotest.(check bool) "injection actually fired" true (f1 <> []);
+      Alcotest.(check bool) "most trials survived retries" true
+        (Array.exists Option.is_some r1);
+      (* Each permanent failure burned exactly retries + 1 attempts and
+         names the injected fault. *)
+      List.iter
+        (fun (f : Checkpoint.failure) ->
+          Alcotest.(check int) "attempts" 2 f.attempts;
+          Alcotest.(check bool) "error names the injection" true
+            (String.length f.error > 0))
+        (Checkpoint.failures ()))
+
+(* --- degradation protocol ---------------------------------------------- *)
+
+let test_finalize_manifest () =
+  Checkpoint.reset ();
+  Unix.putenv "MCX_TRIAL_RETRIES" "0";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "MCX_TRIAL_RETRIES" "")
+    (fun () ->
+      let dir = fresh_dir () in
+      let ckpt = Checkpoint.start ~dir ~experiment:"degrade" ~seed:5 () in
+      let r =
+        Checkpoint.map ckpt ~pool:(inline_pool ()) ~section:"s n=6" ~n:6 ~codec
+          (fun i -> if i mod 2 = 1 then failwith "boom" else i)
+      in
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "trial %d" i)
+            (if i mod 2 = 1 then None else Some i)
+            v)
+        r;
+      let fs = Checkpoint.failures () in
+      Alcotest.(check int) "three permanent failures" 3 (List.length fs);
+      List.iter
+        (fun (f : Checkpoint.failure) ->
+          Alcotest.(check int) "single attempt under retries=0" 1 f.attempts;
+          Alcotest.(check bool) "error captured" true
+            (String.length f.error > 0))
+        fs;
+      Alcotest.(check int) "finalize exits 4" 4 (Checkpoint.finalize ());
+      let path = Checkpoint.manifest_path () in
+      Alcotest.(check bool) "manifest written" true (Sys.file_exists path);
+      (match Json_out.of_string (read_file path) with
+      | Error e -> Alcotest.fail ("manifest does not parse: " ^ e)
+      | Ok json ->
+        Alcotest.(check (option string))
+          "manifest schema" (Some "mcx-failed-trials/1")
+          (Option.bind (Json_out.member "schema" json) Json_out.to_string_opt);
+        Alcotest.(check (option int))
+          "manifest count" (Some 3)
+          (Option.bind (Json_out.member "count" json) Json_out.to_int_opt));
+      Checkpoint.reset ();
+      Alcotest.(check int) "clean run finalizes 0" 0 (Checkpoint.finalize ()))
+
+(* --- end-to-end: a real experiment, checkpointed ------------------------ *)
+
+let test_experiment_replay_equals_plain () =
+  Checkpoint.reset ();
+  let dir = fresh_dir () in
+  Unix.putenv "MCX_CHECKPOINT" dir;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "MCX_CHECKPOINT" "")
+    (fun () ->
+      let a = Mcx_experiments.Yield.run ~samples:12 ~seed:5 ~benchmark:"rd53" () in
+      (* Second run replays the journal end to end. *)
+      let b = Mcx_experiments.Yield.run ~samples:12 ~seed:5 ~benchmark:"rd53" () in
+      Unix.putenv "MCX_CHECKPOINT" "";
+      let c = Mcx_experiments.Yield.run ~samples:12 ~seed:5 ~benchmark:"rd53" () in
+      Alcotest.(check bool) "checkpointed = replayed" true (a = b);
+      Alcotest.(check bool) "checkpointed = uncheckpointed" true (a = c))
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ( "replay",
+        [
+          Alcotest.test_case "in-process replay" `Quick test_replay_in_process;
+          Alcotest.test_case "from-disk replay" `Quick test_replay_from_disk;
+          Alcotest.test_case "section mismatch re-runs" `Quick test_section_mismatch_reruns;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "partial then resume" `Quick test_partial_then_resume;
+          Alcotest.test_case "torn line re-runs" `Quick test_torn_line_reruns;
+          Alcotest.test_case "corrupt digest re-runs" `Quick test_corrupt_digest_reruns;
+        ] );
+      ("schema", [ Alcotest.test_case "journal format" `Quick test_journal_schema ]);
+      ( "faults",
+        [
+          Alcotest.test_case "deterministic at any job count" `Quick
+            test_fault_injection_deterministic;
+          Alcotest.test_case "finalize + manifest" `Quick test_finalize_manifest;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "yield replay = plain run" `Quick
+            test_experiment_replay_equals_plain;
+        ] );
+    ]

@@ -61,6 +61,10 @@ let test_packed_poly_compare () =
       (13, "packed-poly-compare");
     ]
 
+let test_float_sort_poly_compare () =
+  check_fixture "float_sort_poly.ml"
+    [ (4, "float-sort-poly-compare"); (7, "float-sort-poly-compare") ]
+
 let test_domain_toplevel_state () =
   check_fixture "race_toplevel.ml"
     [
@@ -119,7 +123,7 @@ let test_allow_file_suppresses_fixtures () =
 
 let test_rule_registry () =
   let ids = Lint.Rules.ids in
-  Alcotest.(check int) "10 rules" 10 (List.length ids);
+  Alcotest.(check int) "11 rules" 11 (List.length ids);
   Alcotest.(check int) "ids unique" (List.length ids)
     (List.length (List.sort_uniq String.compare ids));
   List.iter (fun id -> Alcotest.(check bool) id true (Lint.Rules.mem id)) ids;
@@ -208,6 +212,7 @@ let () =
           Alcotest.test_case "determinism-wallclock" `Quick test_determinism_wallclock;
           Alcotest.test_case "determinism-poly-hash" `Quick test_determinism_poly_hash;
           Alcotest.test_case "packed-poly-compare" `Quick test_packed_poly_compare;
+          Alcotest.test_case "float-sort-poly-compare" `Quick test_float_sort_poly_compare;
           Alcotest.test_case "domain-toplevel-state" `Quick test_domain_toplevel_state;
           Alcotest.test_case "output-print" `Quick test_output_print;
           Alcotest.test_case "output-float-json" `Quick test_output_float_json;

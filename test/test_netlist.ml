@@ -17,7 +17,9 @@ let test_signal_polarity () =
   Alcotest.(check bool) "const flips" true
     (Signal.negate_cheaply (Signal.Const true) = Some (Signal.Const false));
   Alcotest.(check bool) "gate needs inverter" true
-    (Signal.negate_cheaply (Signal.Gate 0) = None)
+    (let net = Network.create ~n_inputs:2 ~fanin_limit:4 in
+     let g = Network.nand net [ Signal.Input 0; Signal.Input 1 ] in
+     Signal.negate_cheaply g = None)
 
 let test_signal_of_literal () =
   Alcotest.(check bool) "pos" true
@@ -124,9 +126,9 @@ let test_network_prune () =
 
 let test_network_validation () =
   let net = Network.create ~n_inputs:2 ~fanin_limit:4 in
-  Alcotest.(check bool) "unknown gate rejected" true
+  Alcotest.(check bool) "forged gate rejected" true
     (try
-       ignore (Network.nand net [ Signal.Gate 5 ]);
+       ignore (Network.nand net [ Signal.Gate { net = -1; id = 5 } ]);
        false
      with Invalid_argument _ -> true);
   Alcotest.(check bool) "input out of range rejected" true
@@ -139,6 +141,39 @@ let test_network_validation () =
        ignore (Network.create ~n_inputs:2 ~fanin_limit:1);
        false
      with Invalid_argument _ -> true)
+
+(* A gate signal from network [a] used to slip into network [b] whenever
+   its id happened to be in range — it would silently alias [b]'s gate of
+   the same id (or memo-hit an unrelated structure). The provenance stamp
+   now rejects it even when the id is in range. *)
+let test_network_foreign_gate () =
+  let a = Network.create ~n_inputs:2 ~fanin_limit:4 in
+  let b = Network.create ~n_inputs:2 ~fanin_limit:4 in
+  let ga = Network.nand a [ Signal.Input 0; Signal.Input 1 ] in
+  (* Give [b] a gate of its own so the foreign id (0) is in range. *)
+  let _gb = Network.nand b [ Signal.Input_neg 0; Signal.Input 1 ] in
+  let rejects f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "nand rejects foreign gate" true
+    (rejects (fun () -> Network.nand b [ ga ]));
+  Alcotest.(check bool) "inv rejects foreign gate" true
+    (rejects (fun () -> Network.inv b ga));
+  Alcotest.(check bool) "set_outputs rejects foreign gate" true
+    (rejects (fun () -> Network.set_outputs b [ ga ]));
+  (* Pruning re-stamps: signals of the original die with it. *)
+  Network.set_outputs a [ ga ];
+  let pruned = Network.prune a in
+  Alcotest.(check bool) "pre-prune signal rejected by pruned network" true
+    (rejects (fun () -> Network.nand pruned [ ga ]));
+  (* And the home network still accepts its own signal. *)
+  Alcotest.(check bool) "home network still accepts" true
+    (match Network.nand a [ ga; Signal.Input 0 ] with
+    | _ -> true
+    | exception Invalid_argument _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Factor                                                             *)
@@ -471,6 +506,7 @@ let () =
           Alcotest.test_case "counts (paper fig5)" `Quick test_network_counts;
           Alcotest.test_case "prune" `Quick test_network_prune;
           Alcotest.test_case "validation" `Quick test_network_validation;
+          Alcotest.test_case "foreign gate rejected" `Quick test_network_foreign_gate;
         ] );
       ( "factor",
         [

@@ -199,6 +199,91 @@ let test_stats_empty () =
        false
      with Invalid_argument _ -> true)
 
+(* --- Stats properties --- *)
+
+(* Bounded rationals with heavy duplication: exercises sort stability,
+   interpolation between equal neighbours, and keeps the naive reference
+   formulas free of catastrophic cancellation. *)
+let gen_samples =
+  QCheck2.Gen.(
+    list_size (int_range 1 60) (map (fun i -> float_of_int i /. 8.) (int_range (-400) 400)))
+
+let gen_samples_with_nans =
+  QCheck2.Gen.(
+    list_size (int_range 1 40)
+      (oneof
+         [ pure Float.nan; map (fun i -> float_of_int i /. 4.) (int_range (-40) 40) ]))
+
+let naive_mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let naive_variance xs =
+  match xs with
+  | [ _ ] -> 0.
+  | _ ->
+    let m = naive_mean xs in
+    List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+    /. float_of_int (List.length xs - 1)
+
+let close a b =
+  let scale = Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= 1e-9 *. scale
+
+let prop_welford_matches_naive =
+  QCheck2.Test.make ~name:"single-pass moments match two-pass reference" ~count:300
+    gen_samples (fun xs ->
+      let m = naive_mean xs and v = naive_variance xs in
+      close (Stats.variance xs) v
+      && close (Stats.stddev xs) (sqrt v)
+      &&
+      let lo, hi = Stats.ci95 xs in
+      let half =
+        1.96 *. sqrt (v /. float_of_int (List.length xs))
+      in
+      close lo (m -. half) && close hi (m +. half))
+
+let prop_percentile_bounds =
+  QCheck2.Test.make ~name:"percentile: bounded, monotone, exact at 0/100" ~count:300
+    gen_samples (fun xs ->
+      let mn = List.fold_left Float.min Float.infinity xs in
+      let mx = List.fold_left Float.max Float.neg_infinity xs in
+      Stats.percentile xs 0. = mn
+      && Stats.percentile xs 100. = mx
+      && List.for_all
+           (fun p ->
+             let v = Stats.percentile xs p in
+             mn <= v && v <= mx)
+           [ 10.; 25.; 50.; 75.; 90. ]
+      && Stats.percentile xs 25. <= Stats.percentile xs 75.)
+
+let prop_percentile_tolerates_nan =
+  QCheck2.Test.make ~name:"percentile: NaNs sort first, never raise" ~count:300
+    gen_samples_with_nans (fun xs ->
+      (* Must not raise for any p, and p100 recovers the real maximum as
+         long as one non-NaN sample exists (NaNs order first). *)
+      let probe p = ignore (Stats.percentile xs p) in
+      List.iter probe [ 0.; 50.; 100. ];
+      let reals = List.filter (fun x -> not (Float.is_nan x)) xs in
+      match reals with
+      | [] -> Float.is_nan (Stats.percentile xs 100.)
+      | _ -> Stats.percentile xs 100. = List.fold_left Float.max Float.neg_infinity reals)
+
+let prop_success_rate_fold =
+  QCheck2.Test.make ~name:"success_rate = 100 * hits / n" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 80) bool)
+    (fun bs ->
+      let hits = List.length (List.filter Fun.id bs) in
+      close (Stats.success_rate bs)
+        (100. *. float_of_int hits /. float_of_int (List.length bs)))
+
+let stats_qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_welford_matches_naive;
+      prop_percentile_bounds;
+      prop_percentile_tolerates_nan;
+      prop_success_rate_fold;
+    ]
+
 (* --- Texttable --- *)
 
 let contains_substring haystack needle =
@@ -432,6 +517,7 @@ let () =
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "empty input" `Quick test_stats_empty;
         ] );
+      ("stats properties", stats_qcheck_cases);
       ( "texttable",
         [
           Alcotest.test_case "render" `Quick test_table_render;
