@@ -8,6 +8,7 @@
      export     write the multi-level NAND netlist (Verilog/DOT) or the PLA
      show       render the programmed crossbar as ASCII art
      bench      list the built-in benchmark suite
+     serve      answer a JSONL stream of mapping requests (cached, batched)
      experiment run a paper experiment (fig6 | table1 | table2 | yield |
                 mldefect | ratesweep | ablation | tradeoff | aging) *)
 
@@ -288,6 +289,122 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"List the built-in benchmark suite.")
     Term.(const bench_run $ verbosity)
 
+(* --- serve --- *)
+
+let read_batch ic limit =
+  let rec loop acc k =
+    if k >= limit then List.rev acc
+    else
+      match input_line ic with
+      | line -> if String.trim line = "" then loop acc k else loop (line :: acc) (k + 1)
+      | exception End_of_file -> List.rev acc
+  in
+  loop [] 0
+
+let serve_run () inputs output stats_path cache_size batch_size =
+  if batch_size <= 0 then begin
+    Printf.eprintf "memx: --batch must be positive\n";
+    exit 1
+  end;
+  let server = Mcx_service.Serve.create ?cache_capacity:cache_size () in
+  let out, close_output =
+    match output with
+    | None -> (stdout, fun () -> flush stdout)
+    | Some path ->
+      let oc = open_out path in
+      (oc, fun () -> close_out oc)
+  in
+  let emit responses =
+    List.iter
+      (fun line ->
+        output_string out line;
+        output_char out '\n')
+      responses;
+    flush out
+  in
+  (match inputs with
+  | [] ->
+    (* stdin streaming mode: serve and answer chunk by chunk, so a
+       long-lived pipe gets responses as it goes. *)
+    let rec loop k =
+      match read_batch stdin batch_size with
+      | [] -> ()
+      | lines ->
+        let responses, _ =
+          Mcx_service.Serve.serve_batch server ~label:(Printf.sprintf "stdin#%d" k) lines
+        in
+        emit responses;
+        loop (k + 1)
+    in
+    loop 0
+  | files ->
+    List.iter
+      (fun path ->
+        let ic = open_in path in
+        let rec drain acc =
+          match input_line ic with
+          | line -> drain (if String.trim line = "" then acc else line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        let lines = drain [] in
+        close_in ic;
+        let responses, _ =
+          Mcx_service.Serve.serve_batch server ~label:(Filename.basename path) lines
+        in
+        emit responses)
+      files);
+  close_output ();
+  (match stats_path with
+  | None -> ()
+  | Some path ->
+    Mcx.Util.Json_out.write_file path (Mcx_service.Serve.stats_json server);
+    output_string Stdlib.stderr (Mcx.Util.Texttable.render (Mcx_service.Serve.summary_table server));
+    output_char Stdlib.stderr '\n';
+    flush Stdlib.stderr);
+  exit (Mcx_service.Serve.exit_code server)
+
+let serve_cmd =
+  let inputs =
+    Arg.(
+      value & opt_all string []
+      & info [ "in"; "i" ] ~docv:"FILE"
+          ~doc:
+            "Request file (JSONL, one mcx-request/1 per line). Repeatable; each file is \
+             served as one batch against the shared cache. Without it, requests stream \
+             from stdin.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Response file (default: stdout).")
+  in
+  let stats =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:
+            "Write the mcx-serve-stats/1 JSON summary (requests, cache hit rate, per-batch \
+             p50/p95 latency) to $(docv) and print the per-batch table to stderr.")
+  in
+  let cache_size =
+    let env = Cmd.Env.info "MCX_CACHE_SIZE" in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-size" ] ~env ~docv:"N"
+          ~doc:"Result cache capacity in entries (default 512; 0 disables caching).")
+  in
+  let batch =
+    Arg.(
+      value & opt int 256
+      & info [ "batch" ] ~docv:"N" ~doc:"Requests per dispatch batch in stdin mode.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Serve defect-tolerant mapping requests from a JSONL stream.")
+    Term.(const serve_run $ verbosity $ inputs $ output $ stats $ cache_size $ batch)
+
 (* --- experiment --- *)
 
 let experiment_run () name samples seed =
@@ -361,6 +478,6 @@ let main =
   Cmd.group
     (Cmd.info "memx" ~version:"1.0.0"
        ~doc:"Logic synthesis and defect tolerance for memristive crossbar arrays.")
-    [ synth_cmd; map_cmd; sim_cmd; export_cmd; show_cmd; bench_cmd; experiment_cmd ]
+    [ synth_cmd; map_cmd; sim_cmd; export_cmd; show_cmd; bench_cmd; serve_cmd; experiment_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -20,19 +20,14 @@ let synthesize_multi_level ?fanin_limit cover =
   (Mcx_crossbar.Multilevel.place mapped, Mcx_crossbar.Cost.multi_level mapped)
 
 let map_defect_tolerant ?(include_il_row = false) ~algorithm cover defects =
-  let fm = Mcx_crossbar.Function_matrix.build ~include_il_row cover in
-  let geometry = fm.Mcx_crossbar.Function_matrix.geometry in
-  if
-    Mcx_crossbar.Defect_map.rows defects <> Mcx_crossbar.Geometry.rows geometry
-    || Mcx_crossbar.Defect_map.cols defects <> Mcx_crossbar.Geometry.cols geometry
-  then invalid_arg "Mcx.map_defect_tolerant: defect map must match the optimum area";
-  let cm = Mcx_mapping.Matching.cm_of_defects defects in
-  let assignment =
+  let algorithm =
     match algorithm with
-    | Hybrid -> Mcx_mapping.Hybrid.map fm cm
-    | Exact -> Mcx_mapping.Exact.map fm cm
+    | Hybrid -> Mcx_mapping.Mapper.Hybrid
+    | Exact -> Mcx_mapping.Mapper.Exact
   in
-  Option.map (fun row_assignment -> Mcx_crossbar.Layout.place ~row_assignment fm) assignment
+  Mcx_mapping.Mapper.map_cover
+    { Mcx_mapping.Mapper.default with algorithm; include_il_row }
+    cover defects
 
 let verify ?defects layout = Mcx_crossbar.Sim.agrees_with_reference ?defects layout
 

@@ -84,6 +84,11 @@ let usable_cols t =
 
 let copy t = { t with data = Bytes.copy t.data; closed = Mcx_util.Bmatrix.copy t.closed }
 
+let digest t =
+  (* Dimensions are folded in explicitly: a 2x3 and a 3x2 grid with the
+     same byte string must not collide. *)
+  Digest.to_hex (Digest.string (Printf.sprintf "%dx%d:%s" t.rows t.cols (Bytes.to_string t.data)))
+
 let pp ppf t =
   for i = 0 to t.rows - 1 do
     if i > 0 then Format.pp_print_newline ppf ();

@@ -41,5 +41,11 @@ val usable_cols : t -> int list
 
 val copy : t -> t
 
+val digest : t -> string
+(** Hex MD5 of the dimensions plus the per-junction defect grid — a
+    content address for the map. Two maps digest equal iff they have the
+    same dimensions and the same defect at every junction; the serving
+    layer folds this into its canonical request key. *)
+
 val pp : Format.formatter -> t -> unit
 (** Grid rendering: [.] functional, [o] stuck-open, [x] stuck-closed. *)

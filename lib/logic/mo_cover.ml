@@ -105,6 +105,64 @@ let map_cubes t ~f =
   create ~n_inputs:t.n_inputs ~n_outputs:t.n_outputs
     (List.map (fun r -> { r with cube = f r.cube }) t.rows)
 
+let permute_vars t ~perm =
+  let n = t.n_inputs in
+  if Array.length perm <> n then invalid_arg "Mo_cover.permute_vars: length mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= n || seen.(p) then invalid_arg "Mo_cover.permute_vars: not a permutation";
+      seen.(p) <- true)
+    perm;
+  let rows =
+    List.map
+      (fun r ->
+        let literals = Array.make n Literal.Absent in
+        for v = 0 to n - 1 do
+          literals.(perm.(v)) <- Cube.get r.cube v
+        done;
+        { cube = Cube.of_literals literals; outputs = Array.copy r.outputs })
+      t.rows
+  in
+  { t with rows }
+
+(* Canonical form under product-row reordering and input relabeling; see
+   the interface for the exact coalescing guarantee. Variables are
+   ordered by their (positive, negative) occurrence counts — invariant
+   under both row permutation and relabeling — with ties resolved by
+   original position; rows are then sorted on the relabeled cubes. *)
+let canonical t =
+  let n = t.n_inputs in
+  let pos = Array.make n 0 and neg = Array.make n 0 in
+  List.iter
+    (fun r ->
+      for v = 0 to n - 1 do
+        match Cube.get r.cube v with
+        | Literal.Pos -> pos.(v) <- pos.(v) + 1
+        | Literal.Neg -> neg.(v) <- neg.(v) + 1
+        | Literal.Absent -> ()
+      done)
+    t.rows;
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare (pos.(a), neg.(a)) (pos.(b), neg.(b)) in
+      if c <> 0 then c else compare a b)
+    order;
+  let var_perm = Array.make n 0 in
+  Array.iteri (fun canonical_pos v -> var_perm.(v) <- canonical_pos) order;
+  let relabeled = permute_vars t ~perm:var_perm in
+  let indexed = Array.of_list (List.mapi (fun i r -> (i, r)) relabeled.rows) in
+  Array.sort
+    (fun (_, a) (_, b) ->
+      let c = Cube.compare a.cube b.cube in
+      if c <> 0 then c else compare a.outputs b.outputs)
+    indexed;
+  let row_perm = Array.make (Array.length indexed) 0 in
+  Array.iteri (fun canonical_pos (orig, _) -> row_perm.(orig) <- canonical_pos) indexed;
+  let rows = Array.to_list (Array.map snd indexed) in
+  ({ relabeled with rows }, row_perm, var_perm)
+
 let equal_semantics a b =
   a.n_inputs = b.n_inputs && a.n_outputs = b.n_outputs
   && List.for_all

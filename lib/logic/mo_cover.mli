@@ -57,6 +57,30 @@ val minimize : t -> t
 val map_cubes : t -> f:(Cube.t -> Cube.t) -> t
 (** Rebuild with transformed cubes (rows re-merged). *)
 
+val permute_vars : t -> perm:int array -> t
+(** Relabel input variables: variable [v] of the argument becomes
+    variable [perm.(v)] of the result (row order and output masks are
+    untouched). @raise Invalid_argument unless [perm] is a permutation
+    of [0 .. n_inputs - 1]. *)
+
+val canonical : t -> t * int array * int array
+(** [canonical t] is [(c, row_perm, var_perm)]: a normal form under
+    product-row reordering and (partially) input relabeling, the basis of
+    the serving layer's request-coalescing digest. [c] is [t] with
+    variables relabeled by [var_perm] (variable [v] becomes
+    [var_perm.(v)]) and product rows sorted; [row_perm.(i)] is the
+    canonical index of [t]'s row [i].
+
+    Guarantees: the transform is always sound (a deterministic
+    permutation of [t], so results computed on [c] translate back
+    through the returned permutations), and two covers that differ only
+    by a product-row permutation canonicalize identically. Input
+    relabelings additionally coalesce when the per-variable occurrence
+    signatures (positive count, negative count) are distinct; tied
+    signatures fall back to original variable order, which keeps the
+    transform canonical per input but not across all relabelings — a
+    deliberate trade against graph-isomorphism-complete refinement. *)
+
 val equal_semantics : t -> t -> bool
 (** Truth-table equality on every output (small arities only). *)
 

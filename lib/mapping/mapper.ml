@@ -1,0 +1,42 @@
+type algorithm = Hybrid | Exact
+
+type config = {
+  algorithm : algorithm;
+  order : Hybrid.order;
+  include_il_row : bool;
+}
+
+let default = { algorithm = Hybrid; order = Hybrid.Top_down; include_il_row = false }
+
+let algorithm_of_string = function
+  | "hybrid" -> Some Hybrid
+  | "exact" -> Some Exact
+  | _ -> None
+
+let algorithm_to_string = function Hybrid -> "hybrid" | Exact -> "exact"
+
+let order_to_string = function
+  | Hybrid.Top_down -> "top_down"
+  | Hybrid.Hardest_first -> "hardest_first"
+
+let signature config =
+  Printf.sprintf "algo=%s order=%s il=%b"
+    (algorithm_to_string config.algorithm)
+    (order_to_string config.order) config.include_il_row
+
+let map config fm cm =
+  match config.algorithm with
+  | Hybrid -> Hybrid.map ~order:config.order fm cm
+  | Exact -> Exact.map fm cm
+
+let map_cover config cover defects =
+  let fm = Mcx_crossbar.Function_matrix.build ~include_il_row:config.include_il_row cover in
+  let geometry = fm.Mcx_crossbar.Function_matrix.geometry in
+  if
+    Mcx_crossbar.Defect_map.rows defects <> Mcx_crossbar.Geometry.rows geometry
+    || Mcx_crossbar.Defect_map.cols defects <> Mcx_crossbar.Geometry.cols geometry
+  then invalid_arg "Mapper.map_cover: defect map must match the optimum area";
+  let cm = Matching.cm_of_defects defects in
+  Option.map
+    (fun row_assignment -> Mcx_crossbar.Layout.place ~row_assignment fm)
+    (map config fm cm)

@@ -1,0 +1,46 @@
+(** Stable, configuration-driven entry point over the mapping algorithms.
+
+    The individual algorithms ({!Hybrid}, {!Exact}) keep their direct
+    APIs; this module packages the choice plus its knobs into one record
+    so callers that thread a mapper through configuration — the umbrella
+    [Mcx.map_defect_tolerant] flow and the request-serving layer, which
+    also folds the record into its cache key — share a single entry
+    point and a single canonical spelling of each option. *)
+
+type algorithm = Hybrid | Exact
+
+type config = {
+  algorithm : algorithm;
+  order : Hybrid.order;  (** greedy-phase row order; ignored by {!Exact} *)
+  include_il_row : bool;  (** count the Fig. 3 input-latch row in the FM *)
+}
+
+val default : config
+(** [{ algorithm = Hybrid; order = Top_down; include_il_row = false }] —
+    Algorithm 1 exactly as the paper states it. *)
+
+val algorithm_of_string : string -> algorithm option
+(** ["hybrid"] / ["exact"]. *)
+
+val algorithm_to_string : algorithm -> string
+
+val signature : config -> string
+(** Canonical one-line spelling of the record, stable across releases —
+    safe to fold into persistent digests ([algo=hybrid order=top_down
+    il=false]). *)
+
+val map :
+  config -> Mcx_crossbar.Function_matrix.t -> Mcx_util.Bmatrix.t -> int array option
+(** Dispatch on [config.algorithm] at the FM/CM level.
+    @raise Invalid_argument as the underlying algorithm does. *)
+
+val map_cover :
+  config ->
+  Mcx_logic.Mo_cover.t ->
+  Mcx_crossbar.Defect_map.t ->
+  Mcx_crossbar.Layout.t option
+(** The end-to-end flow: build the FM (honoring [include_il_row]),
+    derive the crossbar matrix from the defects, run {!map} and place
+    the result. [None] means no valid assignment was found (a proof of
+    infeasibility only under {!Exact}). @raise Invalid_argument if the
+    defect map does not have the cover's optimum dimensions. *)

@@ -1,0 +1,39 @@
+(** Canonical form and content digest of one mapping request.
+
+    The mapping algorithms are pure functions of (cover, defect map,
+    mapper config), so requests can be memoized — but only if equivalent
+    requests key to the same digest. Resolution therefore normalizes the
+    problem before digesting: product rows are sorted and input
+    variables relabeled by {!Mcx_logic.Mo_cover.canonical}, and the
+    defect map's input columns are permuted by the same relabeling
+    (positive and complemented literal columns move with their
+    variable). A row assignment computed in canonical space is valid in
+    the original space verbatim on the column side, and translates on
+    the row side through the recorded row permutation —
+    {!translate_assignment}. *)
+
+type t = {
+  request : Wire.request;
+  cover : Mcx_logic.Mo_cover.t;  (** canonical cover *)
+  defects : Mcx_crossbar.Defect_map.t;  (** canonical defect map *)
+  geometry : Mcx_crossbar.Geometry.t;
+      (** optimum geometry — identical for the original and canonical
+          problems *)
+  row_perm : int array;  (** original product row -> canonical product row *)
+  digest : string;
+      (** hex MD5 over (canonical PLA, canonical defect digest, mapper
+          signature, verify flag) *)
+}
+
+val resolve : Wire.request -> t
+(** Parse/locate the cover, materialize the defect map at the cover's
+    optimum geometry, canonicalize both, digest. Raises on any invalid
+    request ([Failure] for unknown benchmarks and malformed PLA text,
+    [Invalid_argument] for defect maps that do not fit the geometry) —
+    the dispatcher runs it under {!Mcx_util.Pool.map_isolated} and turns
+    the raise into a structured error response. *)
+
+val translate_assignment : t -> int array -> int array
+(** Rewrite a canonical-space FM row assignment into the request's own
+    row order (input-latch and output rows are fixed points; product row
+    [i] reads canonical row [row_perm.(i)]). *)

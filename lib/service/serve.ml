@@ -1,0 +1,331 @@
+(* The three-stage batch dispatcher. Every per-request decision is made
+   in request-index order from index-ordered outcome arrays, which is
+   what makes served output byte-identical at any MCX_JOBS and across
+   cache states. *)
+
+module Pool = Mcx_util.Pool
+module Lru = Mcx_util.Lru
+module Telemetry = Mcx_util.Telemetry
+module Timing = Mcx_util.Timing
+module Json = Mcx_util.Json_out
+module Mapper = Mcx_mapping.Mapper
+
+type batch_stats = {
+  label : string;
+  requests : int;
+  hits : int;
+  misses : int;
+  coalesced : int;
+  errors : int;
+  infeasible : int;
+  evictions : int;
+  elapsed_ns : int64;
+  p50_ns : int64;
+  p95_ns : int64;
+}
+
+type result_value =
+  | Mapped of { assignment : int array; verified : bool option }
+  | Unmappable
+
+type t = {
+  pool : Pool.t;
+  cache : result_value Lru.t;
+  mutable batches_rev : batch_stats list;
+  mutable errors_total : int;
+  mutable requests_total : int;
+}
+
+let default_cache_capacity () =
+  match Sys.getenv_opt "MCX_CACHE_SIZE" with
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> 512)
+  | None -> 512
+
+let create ?pool ?cache_capacity () =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let capacity =
+    match cache_capacity with Some c -> c | None -> default_cache_capacity ()
+  in
+  {
+    pool;
+    cache = Lru.create ~name:"serve.cache" ~capacity ();
+    batches_rev = [];
+    errors_total = 0;
+    requests_total = 0;
+  }
+
+(* Per-request disposition after the resolve stage, in line order. *)
+type disposition =
+  | Malformed of { id : string; error : string }
+  | Ready of Canonical.t
+
+(* How a ready request's result is obtained. *)
+type source =
+  | Hit of { value : result_value; lookup_ns : int64 }
+  | Computed of string  (** digest; result in the batch-local table *)
+
+let compute (canonical : Canonical.t) =
+  Telemetry.span "serve.map" @@ fun () ->
+  let t0 = Timing.monotonic_ns () in
+  let config = canonical.Canonical.request.Wire.config in
+  let result =
+    match
+      Mapper.map_cover config.Wire.mapper canonical.Canonical.cover
+        canonical.Canonical.defects
+    with
+    | None -> Unmappable
+    | Some layout ->
+      let verified =
+        if
+          config.Wire.verify
+          && Mcx_logic.Mo_cover.n_inputs canonical.Canonical.cover <= 16
+        then
+          Some
+            (Mcx_crossbar.Sim.agrees_with_reference ~defects:canonical.Canonical.defects
+               layout)
+        else None
+      in
+      Mapped { assignment = layout.Mcx_crossbar.Layout.row_assignment; verified }
+  in
+  (result, Int64.sub (Timing.monotonic_ns ()) t0)
+
+let response_of_result (canonical : Canonical.t) result ~elapsed_ns =
+  let request = canonical.Canonical.request in
+  let base = Wire.response ~id:request.Wire.id in
+  let with_digest r = { r with Wire.digest = Some canonical.Canonical.digest } in
+  match result with
+  | Error msg -> with_digest { (base Wire.Failed) with Wire.error = Some msg }
+  | Ok Unmappable -> with_digest (base Wire.Infeasible)
+  | Ok (Mapped { assignment; verified }) -> (
+    match request.Wire.config.Wire.deadline_ms with
+    | Some budget_ms when Int64.compare elapsed_ns (Int64.mul (Int64.of_int budget_ms) 1_000_000L) > 0
+      ->
+      with_digest (base Wire.Deadline)
+    | Some _ | None ->
+      with_digest
+        {
+          (base Wire.Ok_mapped) with
+          Wire.rows = Some (Mcx_crossbar.Geometry.rows canonical.Canonical.geometry);
+          cols = Some (Mcx_crossbar.Geometry.cols canonical.Canonical.geometry);
+          assignment = Some (Canonical.translate_assignment canonical assignment);
+          verified;
+        })
+
+let percentile buckets ~calls ~total_ns ~max_ns ~p =
+  Telemetry.Report.percentile_ns
+    { Telemetry.Report.name = "serve.request"; calls; total_ns; max_ns; buckets }
+    ~p
+
+let serve_batch t ~label lines =
+  Telemetry.span "serve.batch" @@ fun () ->
+  let batch_t0 = Timing.monotonic_ns () in
+  let lines = Array.of_list lines in
+  let n = Array.length lines in
+  t.requests_total <- t.requests_total + n;
+  Telemetry.count ~n "serve.requests";
+  (* Stage 1: parse + canonicalize, isolated per request. *)
+  let dispositions =
+    Telemetry.span "serve.parse" @@ fun () ->
+    let parsed =
+      Array.mapi (fun index line -> Wire.request_of_line ~index line) lines
+    in
+    let resolved =
+      Pool.map_isolated t.pool n (fun ~attempt:_ i ->
+          match parsed.(i) with
+          | Error msg -> Error msg
+          | Ok request -> Ok (Canonical.resolve request))
+    in
+    Array.init n (fun i ->
+        let id_of_line () =
+          match parsed.(i) with
+          | Ok request -> request.Wire.id
+          | Error _ -> Printf.sprintf "#%d" i
+        in
+        match resolved.(i) with
+        | Pool.Done (Ok canonical) -> Ready canonical
+        | Pool.Done (Error msg) -> Malformed { id = id_of_line (); error = msg }
+        | Pool.Failed { error; _ } -> Malformed { id = id_of_line (); error }
+        | Pool.Skipped ->
+          Malformed { id = id_of_line (); error = "request cancelled" })
+  in
+  (* Stage 2: cache lookups in request order; coalesce equal digests. *)
+  let cache_stats_before = Lru.stats t.cache in
+  let pending = Hashtbl.create 16 in
+  let miss_list = ref [] in
+  let hits = ref 0 and coalesced = ref 0 in
+  let sources =
+    Array.map
+      (function
+        | Malformed _ -> None
+        | Ready canonical -> (
+          let digest = canonical.Canonical.digest in
+          if Hashtbl.mem pending digest then begin
+            incr coalesced;
+            Some (Computed digest)
+          end
+          else
+            let t0 = Timing.monotonic_ns () in
+            match Lru.find t.cache digest with
+            | Some value ->
+              incr hits;
+              Some (Hit { value; lookup_ns = Int64.sub (Timing.monotonic_ns ()) t0 })
+            | None ->
+              Hashtbl.add pending digest ();
+              miss_list := (digest, canonical) :: !miss_list;
+              Some (Computed digest)))
+      dispositions
+  in
+  let misses = Array.of_list (List.rev !miss_list) in
+  (* Stage 3: compute unique problems, isolated per problem. *)
+  let outcomes =
+    Pool.map_isolated t.pool (Array.length misses) (fun ~attempt:_ i ->
+        compute (snd misses.(i)))
+  in
+  let results = Hashtbl.create 16 in
+  Array.iteri
+    (fun i outcome ->
+      let digest = fst misses.(i) in
+      match outcome with
+      | Pool.Done (value, elapsed_ns) ->
+        Lru.put t.cache digest value;
+        Hashtbl.replace results digest (Ok value, elapsed_ns)
+      | Pool.Failed { error; _ } -> Hashtbl.replace results digest (Error error, 0L)
+      | Pool.Skipped -> Hashtbl.replace results digest (Error "request cancelled", 0L))
+    outcomes;
+  let evictions =
+    (Lru.stats t.cache).Lru.evictions - cache_stats_before.Lru.evictions
+  in
+  (* Stage 4: responses in request order + latency accounting. *)
+  let buckets = Array.make Telemetry.n_buckets 0 in
+  let calls = ref 0 and total_ns = ref 0L and max_ns = ref 0L in
+  let errors = ref 0 and infeasible = ref 0 in
+  let observe ns =
+    incr calls;
+    total_ns := Int64.add !total_ns ns;
+    if Int64.compare ns !max_ns > 0 then max_ns := ns;
+    buckets.(Telemetry.bucket_of_ns ns) <- buckets.(Telemetry.bucket_of_ns ns) + 1;
+    Telemetry.observe_ns "serve.request" ns
+  in
+  let responses =
+    Telemetry.span "serve.render" @@ fun () ->
+    Array.to_list
+      (Array.mapi
+         (fun i disposition ->
+           let response =
+             match disposition with
+             | Malformed { id; error } ->
+               { (Wire.response ~id Wire.Failed) with Wire.error = Some error }
+             | Ready canonical -> (
+               let result, elapsed_ns =
+                 match sources.(i) with
+                 | Some (Hit { value; lookup_ns }) -> (Ok value, lookup_ns)
+                 | Some (Computed digest) -> (
+                   match Hashtbl.find_opt results digest with
+                   | Some (result, elapsed_ns) -> (result, elapsed_ns)
+                   | None -> (Error "internal: result missing", 0L))
+                 | None -> (Error "internal: no source", 0L)
+               in
+               observe elapsed_ns;
+               response_of_result canonical result ~elapsed_ns)
+           in
+           (match response.Wire.status with
+           | Wire.Failed -> incr errors
+           | Wire.Infeasible -> incr infeasible
+           | Wire.Ok_mapped | Wire.Deadline -> ());
+           Wire.response_to_line response)
+         dispositions)
+  in
+  t.errors_total <- t.errors_total + !errors;
+  let stats =
+    {
+      label;
+      requests = n;
+      hits = !hits;
+      misses = Array.length misses;
+      coalesced = !coalesced;
+      errors = !errors;
+      infeasible = !infeasible;
+      evictions;
+      elapsed_ns = Int64.sub (Timing.monotonic_ns ()) batch_t0;
+      p50_ns = percentile buckets ~calls:!calls ~total_ns:!total_ns ~max_ns:!max_ns ~p:0.50;
+      p95_ns = percentile buckets ~calls:!calls ~total_ns:!total_ns ~max_ns:!max_ns ~p:0.95;
+    }
+  in
+  t.batches_rev <- stats :: t.batches_rev;
+  (responses, stats)
+
+let batches t = List.rev t.batches_rev
+let error_count t = t.errors_total
+let exit_code t = if t.errors_total > 0 then 4 else 0
+
+let hit_rate ~hits ~misses =
+  let lookups = hits + misses in
+  if lookups = 0 then 0. else float_of_int hits /. float_of_int lookups
+
+let stats_json t =
+  let cache = Lru.stats t.cache in
+  let batch_json (b : batch_stats) =
+    Json.Obj
+      [
+        ("label", Json.Str b.label);
+        ("requests", Json.Int b.requests);
+        ("hits", Json.Int b.hits);
+        ("misses", Json.Int b.misses);
+        ("coalesced", Json.Int b.coalesced);
+        ("errors", Json.Int b.errors);
+        ("infeasible", Json.Int b.infeasible);
+        ("evictions", Json.Int b.evictions);
+        ("hit_rate", Json.Float (hit_rate ~hits:b.hits ~misses:b.misses));
+        ("elapsed_ns", Json.Int (Int64.to_int b.elapsed_ns));
+        ("p50_ns", Json.Int (Int64.to_int b.p50_ns));
+        ("p95_ns", Json.Int (Int64.to_int b.p95_ns));
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "mcx-serve-stats/1");
+      ("requests", Json.Int t.requests_total);
+      ("errors", Json.Int t.errors_total);
+      ( "cache",
+        Json.Obj
+          [
+            ("capacity", Json.Int (Lru.capacity t.cache));
+            ("size", Json.Int (Lru.length t.cache));
+            ("hits", Json.Int cache.Lru.hits);
+            ("misses", Json.Int cache.Lru.misses);
+            ("insertions", Json.Int cache.Lru.insertions);
+            ("evictions", Json.Int cache.Lru.evictions);
+            ( "hit_rate",
+              Json.Float (hit_rate ~hits:cache.Lru.hits ~misses:cache.Lru.misses) );
+          ] );
+      ("batches", Json.List (List.map batch_json (batches t)));
+    ]
+
+let summary_table t =
+  let table =
+    Mcx_util.Texttable.create
+      [
+        "batch"; "requests"; "hits"; "misses"; "coalesced"; "errors"; "hit%";
+        "elapsed ms"; "p50 us"; "p95 us";
+      ]
+  in
+  List.iter
+    (fun (b : batch_stats) ->
+      Mcx_util.Texttable.add_row table
+        [
+          b.label;
+          string_of_int b.requests;
+          string_of_int b.hits;
+          string_of_int b.misses;
+          string_of_int b.coalesced;
+          string_of_int b.errors;
+          Printf.sprintf "%.1f" (100. *. hit_rate ~hits:b.hits ~misses:b.misses);
+          Printf.sprintf "%.2f" (Int64.to_float b.elapsed_ns /. 1e6);
+          Printf.sprintf "%.1f" (Int64.to_float b.p50_ns /. 1e3);
+          Printf.sprintf "%.1f" (Int64.to_float b.p95_ns /. 1e3);
+        ])
+    (batches t);
+  table

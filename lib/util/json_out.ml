@@ -89,6 +89,12 @@ let write_file path v =
 
 exception Parse_error of int * string
 
+(* Recursion in [parse_value] is bounded so that adversarially deep input
+   ("[[[[...") returns [Error] instead of overflowing the OCaml stack.
+   512 is far above anything the emitter produces (the journal and trace
+   schemas nest 3-4 levels) yet well inside the default stack budget. *)
+let max_depth = 512
+
 let of_string s =
   let n = String.length s in
   let pos = ref 0 in
@@ -137,21 +143,48 @@ let of_string s =
          | 't' -> Buffer.add_char buf '\t'; advance ()
          | 'u' ->
            advance ();
-           if !pos + 4 > n then error "truncated \\u escape";
-           let code =
-             try int_of_string ("0x" ^ String.sub s !pos 4)
-             with Failure _ -> error "bad \\u escape"
+           let hex4 () =
+             if !pos + 4 > n then error "truncated \\u escape";
+             let code =
+               try int_of_string ("0x" ^ String.sub s !pos 4)
+               with Failure _ -> error "bad \\u escape"
+             in
+             pos := !pos + 4;
+             code
            in
-           pos := !pos + 4;
+           let code = hex4 () in
            (* The emitter only produces \u00XX for control bytes, but
-              accept the full BMP and re-encode as UTF-8. *)
+              accept the full BMP plus surrogate pairs and re-encode as
+              UTF-8. An unpaired surrogate has no scalar value — emitting
+              it would smuggle invalid UTF-8 through the parser — so it
+              is rejected rather than passed along. *)
+           let code =
+             if code >= 0xD800 && code <= 0xDBFF then begin
+               if
+                 not
+                   (!pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+               then error "lone high surrogate";
+               pos := !pos + 2;
+               let low = hex4 () in
+               if low < 0xDC00 || low > 0xDFFF then error "lone high surrogate";
+               0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+             end
+             else if code >= 0xDC00 && code <= 0xDFFF then error "lone low surrogate"
+             else code
+           in
            if code < 0x80 then Buffer.add_char buf (Char.chr code)
            else if code < 0x800 then begin
              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
            end
-           else begin
+           else if code < 0x10000 then begin
              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
            end
@@ -189,7 +222,8 @@ let of_string s =
         | Some f -> Float f (* integer literal beyond the int range *)
         | None -> error (Printf.sprintf "bad number %S" tok))
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then error "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> error "unexpected end of input"
@@ -205,11 +239,11 @@ let of_string s =
         List []
       end
       else begin
-        let items = ref [ parse_value () ] in
+        let items = ref [ parse_value (depth + 1) ] in
         skip_ws ();
         while peek () = Some ',' do
           advance ();
-          items := parse_value () :: !items;
+          items := parse_value (depth + 1) :: !items;
           skip_ws ()
         done;
         expect ']';
@@ -228,7 +262,7 @@ let of_string s =
           let name = parse_string_body () in
           skip_ws ();
           expect ':';
-          let value = parse_value () in
+          let value = parse_value (depth + 1) in
           (name, value)
         in
         let fields = ref [ field () ] in
@@ -244,7 +278,7 @@ let of_string s =
     | Some _ -> parse_number ()
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then error "trailing garbage";
     v

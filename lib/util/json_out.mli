@@ -41,12 +41,21 @@ val write_file : string -> t -> unit
 
 (** {2 Parsing (journal replay)} *)
 
+val max_depth : int
+(** Container-nesting limit enforced by {!of_string} (512): deeper input
+    is a parse error, never a stack overflow. Far above anything the
+    emitter produces. *)
+
 val of_string : string -> (t, string) result
 (** Parse one JSON value (surrounding whitespace allowed, trailing
     garbage rejected). Numbers without [.], [e] or [E] that fit an OCaml
     [int] parse as [Int], everything else as [Float], so a value emitted
     by {!to_string} parses back to a tree with the same serialization.
-    [Error msg] carries a byte offset. *)
+    Containers nested deeper than {!max_depth} are rejected. [\u] escapes
+    cover the full Unicode range: surrogate pairs combine into one code
+    point (re-encoded as UTF-8) and a lone surrogate is a parse error —
+    it has no scalar value, and letting it through would emit invalid
+    UTF-8. [Error msg] carries a byte offset. *)
 
 (** {2 Lenient accessors}
 

@@ -346,6 +346,96 @@ let test_experiment_replay_equals_plain () =
       Alcotest.(check bool) "checkpointed = replayed" true (a = b);
       Alcotest.(check bool) "checkpointed = uncheckpointed" true (a = c))
 
+(* --- Codec round-trips ------------------------------------------------ *)
+
+(* Every combinator must survive the full journal path: encode, render
+   to a JSONL line, re-parse, decode. *)
+let codec_trip (c : 'a Checkpoint.Codec.t) v =
+  match Json_out.of_string (Json_out.to_string (c.Checkpoint.Codec.encode v)) with
+  | Error _ -> None
+  | Ok json -> c.Checkpoint.Codec.decode json
+
+let gen_finite_float =
+  QCheck2.Gen.(map (fun f -> if Float.is_finite f then f else 0.) float)
+
+let gen_opt g = QCheck2.Gen.(oneof [ pure None; map Option.some g ])
+
+let float_bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let prop_codec name gen c eq =
+  QCheck2.Test.make ~name ~count:300 gen (fun v ->
+      match codec_trip c v with Some w -> eq v w | None -> false)
+
+type trial_repr = { label : string; count : int; ratio : float }
+
+let trial_codec =
+  let open Checkpoint.Codec in
+  conv
+    (fun { label; count; ratio } -> ((label, count), ratio))
+    (fun ((label, count), ratio) -> { label; count; ratio })
+    (pair (pair string int) float)
+
+module C = Checkpoint.Codec
+
+let codec_qcheck_cases =
+  let open QCheck2.Gen in
+  let eq = ( = ) in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_codec "codec: bool" bool C.bool eq;
+      prop_codec "codec: int" int C.int eq;
+      prop_codec "codec: string (all bytes)" string C.string eq;
+      prop_codec "codec: float is bit-exact" gen_finite_float C.float float_bits_equal;
+      prop_codec "codec: pair" (pair int string) (C.pair C.int C.string) eq;
+      prop_codec "codec: triple"
+        (map (fun ((a, b), c) -> (a, b, c)) (pair (pair bool int) string))
+        (C.triple C.bool C.int C.string)
+        eq;
+      prop_codec "codec: quad"
+        (map (fun ((a, b), (c, d)) -> (a, b, c, d)) (pair (pair int bool) (pair string int)))
+        (C.quad C.int C.bool C.string C.int)
+        eq;
+      prop_codec "codec: list" (list_size (int_range 0 20) int) (C.list C.int) eq;
+      prop_codec "codec: array"
+        (map Array.of_list (list_size (int_range 0 20) int))
+        (C.array C.int) eq;
+      prop_codec "codec: option" (gen_opt int) (C.option C.int) eq;
+      prop_codec "codec: nested option" (gen_opt (gen_opt int))
+        (C.option (C.option C.int))
+        eq;
+      prop_codec "codec: conv through a record"
+        (map
+           (fun ((label, count), ratio) -> { label; count; ratio })
+           (pair (pair string int) gen_finite_float))
+        trial_codec
+        (fun a b ->
+          String.equal a.label b.label && a.count = b.count
+          && float_bits_equal a.ratio b.ratio);
+    ]
+
+let test_codec_edges () =
+  let open Checkpoint.Codec in
+  (* NaN survives (it journals as null); infinities are documented as
+     lossy and come back NaN. *)
+  (match codec_trip float Float.nan with
+  | Some v ->
+    Alcotest.(check bool) "nan is bit-exact" true (float_bits_equal v Float.nan)
+  | None -> Alcotest.fail "nan must decode");
+  (match codec_trip float Float.infinity with
+  | Some v -> Alcotest.(check bool) "inf degrades to nan" true (Float.is_nan v)
+  | None -> Alcotest.fail "inf must decode");
+  (* Decoders are total: mismatches yield None, never an exception. *)
+  Alcotest.(check bool) "int rejects a string" true
+    (int.decode (Json_out.Str "3") = None);
+  Alcotest.(check bool) "pair rejects wrong arity" true
+    ((pair int int).decode (Json_out.List [ Json_out.Int 1 ]) = None);
+  Alcotest.(check bool) "list rejects a scalar" true
+    ((list int).decode (Json_out.Int 1) = None);
+  Alcotest.(check bool) "list rejects a bad element" true
+    ((list int).decode (Json_out.List [ Json_out.Int 1; Json_out.Str "x" ]) = None);
+  Alcotest.(check bool) "option distinguishes None" true
+    ((option int).decode Json_out.Null = Some None)
+
 let () =
   Alcotest.run "checkpoint"
     [
@@ -362,6 +452,8 @@ let () =
           Alcotest.test_case "corrupt digest re-runs" `Quick test_corrupt_digest_reruns;
         ] );
       ("schema", [ Alcotest.test_case "journal format" `Quick test_journal_schema ]);
+      ( "codec",
+        Alcotest.test_case "edge cases" `Quick test_codec_edges :: codec_qcheck_cases );
       ( "faults",
         [
           Alcotest.test_case "deterministic at any job count" `Quick

@@ -1,0 +1,377 @@
+(* Service-layer tests: wire schema round-trips, canonical digest
+   collisions for permuted-equivalent requests, cache cold/warm
+   equivalence, byte identity across job counts, the partial-failure
+   protocol, and a golden request-file -> response-file replay.
+
+   Regenerating the golden responses (only when the wire format or the
+   mapping semantics intentionally change):
+
+     MCX_GOLDEN_REGEN=$PWD/test/golden dune exec test/test_service.exe
+*)
+
+open Mcx_util
+open Mcx_service
+
+(* A 3-input 2-output cover whose variables have pairwise-distinct
+   (positive, complemented) occurrence signatures, so canonicalization
+   assigns every relabeling of it the same digest. Optimum crossbar:
+   5x10. *)
+let pla_base = ".i 3\n.o 2\n11- 10\n1-0 01\n-00 11\n.e"
+
+(* [pla_base] with x0 and x2 swapped — a different request body for the
+   same mapping problem. *)
+let pla_relabeled = ".i 3\n.o 2\n-11 10\n0-1 01\n00- 11\n.e"
+
+(* [pla_base] with its product rows rotated. *)
+let pla_rows_rotated = ".i 3\n.o 2\n-00 11\n11- 10\n1-0 01\n.e"
+
+let request ?(id = "q") ?(defects = Wire.Pristine) ?(config = Wire.default_config)
+    source =
+  { Wire.id; source; defects; config }
+
+let line req = Json_out.to_string (Wire.request_to_json req)
+
+let mk_server ?(jobs = 2) ?cache_capacity () =
+  Serve.create ~pool:(Pool.create ~jobs ()) ?cache_capacity ()
+
+let serve_lines ?jobs ?cache_capacity lines =
+  let t = mk_server ?jobs ?cache_capacity () in
+  let responses, stats = Serve.serve_batch t ~label:"test" lines in
+  (t, responses, stats)
+
+(* --- wire schema ------------------------------------------------------ *)
+
+let test_wire_round_trip () =
+  let raw =
+    {|{"schema":"mcx-request/1","id":"q1","pla":".i 2\n.o 1\n11 1\n.e",|}
+    ^ {|"defects":{"seed":9,"open_rate":0.125,"closed_rate":0.5},|}
+    ^ {|"config":{"algorithm":"exact","include_il_row":true,"verify":true,"deadline_ms":250}}|}
+  in
+  match Wire.request_of_line ~index:0 raw with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok req ->
+    Alcotest.(check string) "id" "q1" req.Wire.id;
+    Alcotest.(check bool) "verify" true req.Wire.config.Wire.verify;
+    Alcotest.(check (option int)) "deadline" (Some 250) req.Wire.config.Wire.deadline_ms;
+    (match req.Wire.defects with
+    | Wire.Seeded { seed; open_rate; closed_rate } ->
+      Alcotest.(check int) "seed" 9 seed;
+      Alcotest.(check (float 0.)) "open_rate" 0.125 open_rate;
+      Alcotest.(check (float 0.)) "closed_rate" 0.5 closed_rate
+    | _ -> Alcotest.fail "expected seeded defects");
+    (* to_json / of_line is a fixpoint: re-emitting the parsed request
+       and parsing that re-emission yields the same serialization. *)
+    let s1 = line req in
+    (match Wire.request_of_line ~index:0 s1 with
+    | Error e -> Alcotest.failf "re-parse failed: %s" e
+    | Ok req2 -> Alcotest.(check string) "fixpoint" s1 (line req2))
+
+let test_wire_defaults () =
+  let raw = {|{"schema":"mcx-request/1","pla":".i 1\n.o 1\n1 1\n.e"}|} in
+  match Wire.request_of_line ~index:7 raw with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok req ->
+    Alcotest.(check string) "anonymous id from index" "#7" req.Wire.id;
+    Alcotest.(check bool) "pristine" true (req.Wire.defects = Wire.Pristine);
+    Alcotest.(check bool) "no verify" false req.Wire.config.Wire.verify;
+    Alcotest.(check (option int)) "no deadline" None req.Wire.config.Wire.deadline_ms
+
+let expect_parse_error raw fragment =
+  match Wire.request_of_line ~index:3 raw with
+  | Ok _ -> Alcotest.failf "expected a parse error for %s" raw
+  | Error e ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S mentions %S" e fragment)
+      true
+      (contains e fragment && contains e "request 3")
+
+let test_wire_rejects () =
+  expect_parse_error "not json at all" "request 3";
+  expect_parse_error {|{"schema":"mcx-request/9","pla":"x"}|} "schema";
+  expect_parse_error {|{"schema":"mcx-request/1","id":"q"}|} "pla";
+  expect_parse_error
+    {|{"schema":"mcx-request/1","pla":"x","defects":{"rows":1}}|}
+    "defects"
+
+let test_response_field_order () =
+  let r =
+    {
+      (Wire.response ~id:"a" Wire.Ok_mapped) with
+      Wire.digest = Some "d";
+      rows = Some 2;
+      cols = Some 3;
+      assignment = Some [| 1; 0 |];
+      verified = Some true;
+    }
+  in
+  Alcotest.(check string) "fixed field order"
+    {|{"schema":"mcx-response/1","id":"a","status":"ok","digest":"d","rows":2,"cols":3,"assignment":[1,0],"verified":true}|}
+    (Wire.response_to_line r);
+  Alcotest.(check string) "error shape"
+    {|{"schema":"mcx-response/1","id":"b","status":"error","error":"boom"}|}
+    (Wire.response_to_line
+       { (Wire.response ~id:"b" Wire.Failed) with Wire.error = Some "boom" })
+
+(* --- canonical digests ------------------------------------------------ *)
+
+let digest_of req = (Canonical.resolve req).Canonical.digest
+
+let explicit_defects =
+  Wire.Explicit { rows = 5; cols = 10; stuck_open = [ (0, 1) ]; stuck_closed = [ (4, 9) ] }
+
+let test_digest_collision_relabeled () =
+  Alcotest.(check string) "variable relabeling coalesces"
+    (digest_of (request (`Pla pla_base)))
+    (digest_of (request (`Pla pla_relabeled)))
+
+let test_digest_collision_row_permuted () =
+  (* Row permutations never move the (physical) defect map, so they
+     coalesce even with explicit defects. *)
+  Alcotest.(check string) "row permutation coalesces"
+    (digest_of (request ~defects:explicit_defects (`Pla pla_base)))
+    (digest_of (request ~defects:explicit_defects (`Pla pla_rows_rotated)))
+
+let test_digest_separates_problems () =
+  let d0 = digest_of (request (`Pla pla_base)) in
+  let other = ".i 3\n.o 2\n11- 01\n1-0 01\n-00 11\n.e" in
+  Alcotest.(check bool) "different outputs, different digest" false
+    (String.equal d0 (digest_of (request (`Pla other))));
+  Alcotest.(check bool) "defects change the digest" false
+    (String.equal d0 (digest_of (request ~defects:explicit_defects (`Pla pla_base))));
+  let verifying =
+    { Wire.default_config with Wire.verify = true }
+  in
+  Alcotest.(check bool) "verify flag changes the digest" false
+    (String.equal d0 (digest_of (request ~config:verifying (`Pla pla_base))));
+  (* deadline_ms is a serving-time constraint, not part of the problem *)
+  let deadlined =
+    { Wire.default_config with Wire.deadline_ms = Some 10_000 }
+  in
+  Alcotest.(check string) "deadline does not change the digest" d0
+    (digest_of (request ~config:deadlined (`Pla pla_base)))
+
+let test_resolve_raises () =
+  Alcotest.(check bool) "bad PLA raises Failure" true
+    (match Canonical.resolve (request (`Pla ".i oops")) with
+    | exception Failure _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "unknown benchmark raises Failure" true
+    (match Canonical.resolve (request (`Benchmark "no-such-cover")) with
+    | exception Failure _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "wrong defect dims raise Invalid_argument" true
+    (match
+       Canonical.resolve
+         (request
+            ~defects:
+              (Wire.Explicit { rows = 1; cols = 1; stuck_open = []; stuck_closed = [] })
+            (`Pla pla_base))
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- the dispatcher --------------------------------------------------- *)
+
+let distinct_batch =
+  [
+    line (request ~id:"a" (`Pla pla_base));
+    line (request ~id:"b" ~defects:explicit_defects (`Pla pla_base));
+    line
+      (request ~id:"c"
+         ~defects:(Wire.Seeded { seed = 7; open_rate = 0.05; closed_rate = 0.0 })
+         ~config:{ Wire.default_config with Wire.verify = true }
+         (`Benchmark "rd53"));
+  ]
+
+let test_coalescing_within_batch () =
+  let lines =
+    [ line (request ~id:"x" (`Pla pla_base)); line (request ~id:"y" (`Pla pla_relabeled)) ]
+  in
+  let _, responses, stats = serve_lines lines in
+  Alcotest.(check int) "one computed" 1 stats.Serve.misses;
+  Alcotest.(check int) "one coalesced" 1 stats.Serve.coalesced;
+  Alcotest.(check int) "no hits on a cold cache" 0 stats.Serve.hits;
+  match responses with
+  | [ ra; rb ] ->
+    let digest_of_line l =
+      match Json_out.of_string l with
+      | Ok json -> Option.bind (Json_out.member "digest" json) Json_out.to_string_opt
+      | Error _ -> None
+    in
+    Alcotest.(check bool) "both answered with the same digest" true
+      (Option.is_some (digest_of_line ra) && digest_of_line ra = digest_of_line rb)
+  | _ -> Alcotest.fail "expected two responses"
+
+let test_warm_equals_cold () =
+  let t = mk_server () in
+  let cold, s_cold = Serve.serve_batch t ~label:"cold" distinct_batch in
+  let warm, s_warm = Serve.serve_batch t ~label:"warm" distinct_batch in
+  Alcotest.(check (list string)) "cached replay is byte-identical" cold warm;
+  Alcotest.(check int) "cold batch computes everything" 3 s_cold.Serve.misses;
+  Alcotest.(check int) "warm batch hits everything" 3 s_warm.Serve.hits;
+  Alcotest.(check int) "warm batch computes nothing" 0 s_warm.Serve.misses;
+  (* A fresh server (fresh cache) agrees byte for byte. *)
+  let _, fresh, _ = serve_lines distinct_batch in
+  Alcotest.(check (list string)) "fresh server agrees" cold fresh
+
+let test_uncacheable_when_capacity_zero () =
+  let t = mk_server ~cache_capacity:0 () in
+  let cold, _ = Serve.serve_batch t ~label:"b1" distinct_batch in
+  let again, s2 = Serve.serve_batch t ~label:"b2" distinct_batch in
+  Alcotest.(check int) "no hits without a cache" 0 s2.Serve.hits;
+  Alcotest.(check (list string)) "responses identical regardless" cold again
+
+let mixed_batch =
+  distinct_batch
+  @ [
+      "this is not json";
+      line (request ~id:"bad-pla" (`Pla ".i oops"));
+      line (request ~id:"nope" (`Benchmark "no-such-cover"));
+      line
+        (request ~id:"late"
+           ~config:{ Wire.default_config with Wire.deadline_ms = Some 0 }
+           (`Pla pla_base));
+    ]
+
+let test_jobs_byte_identity () =
+  let _, r1, _ = serve_lines ~jobs:1 mixed_batch in
+  let _, r4, _ = serve_lines ~jobs:4 mixed_batch in
+  Alcotest.(check (list string)) "MCX_JOBS=1 and 4 agree byte for byte" r1 r4
+
+let status_of_line l =
+  match Json_out.of_string l with
+  | Ok json ->
+    Option.value ~default:"?"
+      (Option.bind (Json_out.member "status" json) Json_out.to_string_opt)
+  | Error _ -> "?"
+
+let test_partial_failure_protocol () =
+  let t, responses, stats = serve_lines mixed_batch in
+  Alcotest.(check int) "every request answered" (List.length mixed_batch)
+    (List.length responses);
+  Alcotest.(check (list string)) "statuses in request order"
+    [ "ok"; "ok"; "ok"; "error"; "error"; "error"; "deadline" ]
+    (List.map status_of_line responses);
+  Alcotest.(check int) "batch error count" 3 stats.Serve.errors;
+  Alcotest.(check int) "server error count" 3 (Serve.error_count t);
+  Alcotest.(check int) "partial results exit with 4" 4 (Serve.exit_code t);
+  List.iter
+    (fun l ->
+      if String.equal (status_of_line l) "error" then
+        match Json_out.of_string l with
+        | Ok json ->
+          Alcotest.(check bool) "error responses carry a message" true
+            (Option.is_some (Json_out.member "error" json))
+        | Error e -> Alcotest.failf "unparseable response %s: %s" l e)
+    responses
+
+let test_clean_batch_exits_zero () =
+  let t, _, stats = serve_lines distinct_batch in
+  Alcotest.(check int) "no errors" 0 stats.Serve.errors;
+  Alcotest.(check int) "exit 0" 0 (Serve.exit_code t)
+
+let test_stats_json_shape () =
+  let t = mk_server () in
+  let _ = Serve.serve_batch t ~label:"b1" distinct_batch in
+  let _ = Serve.serve_batch t ~label:"b2" distinct_batch in
+  let json = Serve.stats_json t in
+  let str path = Option.bind path Json_out.to_string_opt in
+  let num path = Option.bind path Json_out.to_float_opt in
+  Alcotest.(check (option string)) "schema" (Some "mcx-serve-stats/1")
+    (str (Json_out.member "schema" json));
+  Alcotest.(check (option (float 0.))) "requests" (Some 6.)
+    (num (Json_out.member "requests" json));
+  let cache = Json_out.member "cache" json in
+  Alcotest.(check (option (float 0.))) "cache hits" (Some 3.)
+    (num (Option.bind cache (Json_out.member "hits")));
+  Alcotest.(check (option (float 0.))) "hit rate over both batches" (Some 0.5)
+    (num (Option.bind cache (Json_out.member "hit_rate")));
+  match Option.bind (Json_out.member "batches" json) Json_out.to_list_opt with
+  | Some [ b1; b2 ] ->
+    Alcotest.(check (option string)) "batch labels" (Some "b1")
+      (str (Json_out.member "label" b1));
+    Alcotest.(check (option (float 0.))) "warm batch hit rate" (Some 1.)
+      (num (Json_out.member "hit_rate" b2))
+  | _ -> Alcotest.fail "expected two batch rows"
+
+(* --- golden replay ---------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read_request_lines path =
+  String.split_on_char '\n' (read_file path)
+  |> List.filter (fun l -> not (String.equal (String.trim l) ""))
+
+let golden_requests = Filename.concat "golden" "serve_requests.jsonl"
+let golden_responses = Filename.concat "golden" "serve_responses.golden"
+
+let serve_golden () =
+  let _, responses, _ = serve_lines ~jobs:2 (read_request_lines golden_requests) in
+  String.concat "" (List.map (fun l -> l ^ "\n") responses)
+
+let test_golden_replay () =
+  let expected = read_file golden_responses in
+  let actual = serve_golden () in
+  if not (String.equal expected actual) then begin
+    write_file "serve_responses.actual" actual;
+    Alcotest.failf
+      "serve output drifted from %s (actual written to serve_responses.actual); if \
+       the change is intentional, regenerate with MCX_GOLDEN_REGEN"
+      golden_responses
+  end
+
+let () =
+  match Sys.getenv_opt "MCX_GOLDEN_REGEN" with
+  | Some dir ->
+    let path = Filename.concat dir "serve_responses.golden" in
+    write_file path (serve_golden ());
+    Printf.printf "wrote %s\n%!" path
+  | None ->
+    Alcotest.run "service"
+      [
+        ( "wire",
+          [
+            Alcotest.test_case "request round-trip" `Quick test_wire_round_trip;
+            Alcotest.test_case "defaults" `Quick test_wire_defaults;
+            Alcotest.test_case "malformed requests" `Quick test_wire_rejects;
+            Alcotest.test_case "response field order" `Quick test_response_field_order;
+          ] );
+        ( "canonical",
+          [
+            Alcotest.test_case "relabeled vars collide" `Quick
+              test_digest_collision_relabeled;
+            Alcotest.test_case "permuted rows collide" `Quick
+              test_digest_collision_row_permuted;
+            Alcotest.test_case "distinct problems separate" `Quick
+              test_digest_separates_problems;
+            Alcotest.test_case "invalid requests raise" `Quick test_resolve_raises;
+          ] );
+        ( "dispatch",
+          [
+            Alcotest.test_case "within-batch coalescing" `Quick
+              test_coalescing_within_batch;
+            Alcotest.test_case "warm = cold" `Quick test_warm_equals_cold;
+            Alcotest.test_case "capacity-0 cache" `Quick
+              test_uncacheable_when_capacity_zero;
+            Alcotest.test_case "jobs 1 = jobs 4" `Quick test_jobs_byte_identity;
+            Alcotest.test_case "partial failure" `Quick test_partial_failure_protocol;
+            Alcotest.test_case "clean exit" `Quick test_clean_batch_exits_zero;
+            Alcotest.test_case "stats document" `Quick test_stats_json_shape;
+          ] );
+        ("golden", [ Alcotest.test_case "request replay" `Quick test_golden_replay ]);
+      ]

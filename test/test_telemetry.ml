@@ -55,6 +55,82 @@ let test_json_nesting () =
   Alcotest.(check string) "compact nesting"
     {|{"a":[1,null],"b":{"c":"d"},"empty":[]}|} (js v)
 
+(* --- Json_out parsing hardening -------------------------------------- *)
+
+let expect_parse_error input fragment =
+  match Json_out.of_string input with
+  | Ok v -> Alcotest.failf "expected a parse error, got %s" (js v)
+  | Error e ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) (Printf.sprintf "%S mentions %S" e fragment) true
+      (contains e fragment)
+
+let nested_brackets depth =
+  String.concat "" (List.init depth (fun _ -> "["))
+  ^ "null"
+  ^ String.concat "" (List.init depth (fun _ -> "]"))
+
+let test_json_depth_cap () =
+  (* Exactly max_depth containers parse; one more is an error, not a
+     stack overflow. *)
+  (match Json_out.of_string (nested_brackets Json_out.max_depth) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "max_depth should parse: %s" e);
+  expect_parse_error (nested_brackets (Json_out.max_depth + 1)) "nesting too deep";
+  expect_parse_error (nested_brackets 100_000) "nesting too deep";
+  (* Objects count against the same limit. *)
+  let deep_objs =
+    String.concat "" (List.init (Json_out.max_depth + 1) (fun _ -> {|{"k":|}))
+    ^ "null"
+    ^ String.make (Json_out.max_depth + 1) '}'
+  in
+  expect_parse_error deep_objs "nesting too deep"
+
+let test_json_surrogates () =
+  (* A valid surrogate pair combines into one code point, re-encoded as
+     4-byte UTF-8 (U+1F600). *)
+  (match Json_out.of_string "\"\\ud83d\\ude00\"" with
+  | Ok (Json_out.Str s) -> Alcotest.(check string) "astral plane" "\xf0\x9f\x98\x80" s
+  | Ok v -> Alcotest.failf "expected a string, got %s" (js v)
+  | Error e -> Alcotest.failf "surrogate pair should parse: %s" e);
+  expect_parse_error {|"\ud800"|} "lone high surrogate";
+  expect_parse_error {|"\ud800x"|} "lone high surrogate";
+  expect_parse_error {|"\ud800A"|} "lone high surrogate";
+  expect_parse_error {|"\udc00"|} "lone low surrogate";
+  (* BMP escapes still work, including the highest non-surrogate ones. *)
+  match Json_out.of_string "\"\\u0041\\uffff\"" with
+  | Ok (Json_out.Str s) -> Alcotest.(check string) "bmp escapes" "A\xef\xbf\xbf" s
+  | Ok v -> Alcotest.failf "expected a string, got %s" (js v)
+  | Error e -> Alcotest.failf "BMP escapes should parse: %s" e
+
+let test_json_trailing_garbage () =
+  expect_parse_error "null x" "trailing";
+  expect_parse_error "1 2" "trailing";
+  expect_parse_error {|{"a":1} []|} "trailing";
+  (* Surrounding whitespace alone is fine. *)
+  match Json_out.of_string "  [1, 2]\t\n" with
+  | Ok v -> Alcotest.(check string) "whitespace tolerated" "[1,2]" (js v)
+  | Error e -> Alcotest.failf "whitespace should be fine: %s" e
+
+let test_json_parse_round_trip () =
+  (* of_string inverts to_string on a representative emitted tree. *)
+  let v =
+    Json_out.Obj
+      [
+        ("s", Json_out.Str "a\"b\\c\n\xc3\xa9");
+        ("xs", Json_out.List [ Json_out.Int (-3); Json_out.Float 0.25; Json_out.Null ]);
+        ("b", Json_out.Bool false);
+        ("nested", Json_out.Obj [ ("empty", Json_out.List []) ]);
+      ]
+  in
+  match Json_out.of_string (js v) with
+  | Ok parsed -> Alcotest.(check string) "round trip" (js v) (js parsed)
+  | Error e -> Alcotest.failf "emitted JSON must parse: %s" e
+
 (* --- histogram geometry --------------------------------------------- *)
 
 let test_bucket_boundaries () =
@@ -281,6 +357,13 @@ let () =
           Alcotest.test_case "non-finite floats" `Quick test_json_non_finite_floats;
           Alcotest.test_case "float round trip" `Quick test_json_float_round_trip;
           Alcotest.test_case "nesting" `Quick test_json_nesting;
+        ] );
+      ( "json_in",
+        [
+          Alcotest.test_case "depth cap" `Quick test_json_depth_cap;
+          Alcotest.test_case "surrogates" `Quick test_json_surrogates;
+          Alcotest.test_case "trailing garbage" `Quick test_json_trailing_garbage;
+          Alcotest.test_case "parse round trip" `Quick test_json_parse_round_trip;
         ] );
       ( "histogram",
         [

@@ -464,6 +464,124 @@ let test_pool_jobs () =
   Pool.shutdown pool;
   Pool.shutdown pool (* idempotent *)
 
+(* --- Lru --- *)
+
+let test_lru_basics () =
+  let c = Lru.create ~capacity:2 () in
+  Alcotest.(check int) "capacity" 2 (Lru.capacity c);
+  Alcotest.(check (option int)) "cold miss" None (Lru.find c "a");
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Alcotest.(check (option int)) "hit" (Some 1) (Lru.find c "a");
+  (* "a" was just promoted, so the third insert evicts "b" *)
+  Lru.put c "c" 3;
+  Alcotest.(check (option int)) "lru evicted" None (Lru.peek c "b");
+  Alcotest.(check (option int)) "mru survives" (Some 1) (Lru.peek c "a");
+  Alcotest.(check (list (pair string int))) "recency order"
+    [ ("c", 3); ("a", 1) ]
+    (Lru.to_list c);
+  let s = Lru.stats c in
+  Alcotest.(check int) "hits" 1 s.Lru.hits;
+  Alcotest.(check int) "misses" 1 s.Lru.misses;
+  Alcotest.(check int) "insertions" 3 s.Lru.insertions;
+  Alcotest.(check int) "evictions" 1 s.Lru.evictions
+
+let test_lru_replace_promotes () =
+  let c = Lru.create ~capacity:2 () in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Lru.put c "a" 10;
+  (* replacing "a" promoted it, so "b" goes next *)
+  Lru.put c "c" 3;
+  Alcotest.(check (option int)) "replaced value" (Some 10) (Lru.peek c "a");
+  Alcotest.(check (option int)) "b evicted" None (Lru.peek c "b");
+  Alcotest.(check int) "replace is not an insertion" 3 (Lru.stats c).Lru.insertions
+
+let test_lru_peek_is_pure () =
+  let c = Lru.create ~capacity:2 () in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  ignore (Lru.peek c "a" : int option);
+  (* peek must not promote: "a" is still the LRU entry *)
+  Lru.put c "c" 3;
+  Alcotest.(check (option int)) "peek does not promote" None (Lru.peek c "a");
+  let s = Lru.stats c in
+  Alcotest.(check int) "peek is not counted" 0 (s.Lru.hits + s.Lru.misses)
+
+let test_lru_degenerate () =
+  let c = Lru.create ~capacity:0 () in
+  Lru.put c "a" 1;
+  Alcotest.(check (option int)) "capacity 0 stores nothing" None (Lru.find c "a");
+  Alcotest.(check int) "stays empty" 0 (Lru.length c);
+  Alcotest.(check int) "no phantom evictions" 0 (Lru.stats c).Lru.evictions;
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Lru.create: negative capacity") (fun () ->
+      ignore (Lru.create ~capacity:(-1) () : int Lru.t))
+
+(* Model-based property: an association list (MRU first) trimmed to
+   capacity predicts contents, order, every lookup result and every
+   counter. *)
+type lru_op = Lru_put of int | Lru_find of int
+
+let gen_lru_ops =
+  QCheck2.Gen.(
+    pair (int_range 0 6)
+      (list_size (int_range 0 120)
+         (oneof
+            [
+              map (fun k -> Lru_put k) (int_range 0 9);
+              map (fun k -> Lru_find k) (int_range 0 9);
+            ])))
+
+let prop_lru_matches_model =
+  QCheck2.Test.make ~name:"lru agrees with a reference model" ~count:500 gen_lru_ops
+    (fun (cap, ops) ->
+      let c = Lru.create ~capacity:cap () in
+      let model = ref [] in
+      let hits = ref 0 and misses = ref 0 in
+      let insertions = ref 0 and evictions = ref 0 in
+      let finds = ref 0 in
+      let ok = ref true in
+      List.iteri
+        (fun stamp op ->
+          match op with
+          | Lru_put k ->
+            let key = "k" ^ string_of_int k in
+            if cap > 0 then begin
+              let existed = List.mem_assoc key !model in
+              model := (key, stamp) :: List.remove_assoc key !model;
+              if not existed then begin
+                incr insertions;
+                if List.length !model > cap then begin
+                  model := List.filteri (fun i _ -> i < cap) !model;
+                  incr evictions
+                end
+              end
+            end;
+            Lru.put c key stamp
+          | Lru_find k ->
+            let key = "k" ^ string_of_int k in
+            incr finds;
+            let expected = List.assoc_opt key !model in
+            (match expected with
+            | Some v ->
+              incr hits;
+              model := (key, v) :: List.remove_assoc key !model
+            | None -> incr misses);
+            if Lru.find c key <> expected then ok := false)
+        ops;
+      let s = Lru.stats c in
+      !ok
+      && Lru.to_list c = !model
+      && Lru.length c <= max cap 0
+      && s.Lru.hits = !hits
+      && s.Lru.misses = !misses
+      && s.Lru.hits + s.Lru.misses = !finds
+      && s.Lru.insertions = !insertions
+      && s.Lru.evictions = !evictions)
+
+let lru_qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_lru_matches_model ]
+
 (* --- Timing --- *)
 
 let test_timing () =
@@ -540,5 +658,13 @@ let () =
           Alcotest.test_case "nested map" `Quick test_pool_nested;
           Alcotest.test_case "jobs" `Quick test_pool_jobs;
         ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "replace promotes" `Quick test_lru_replace_promotes;
+          Alcotest.test_case "peek is pure" `Quick test_lru_peek_is_pure;
+          Alcotest.test_case "degenerate capacities" `Quick test_lru_degenerate;
+        ] );
+      ("lru properties", lru_qcheck_cases);
       ("timing", [ Alcotest.test_case "time" `Quick test_timing ]);
     ]
