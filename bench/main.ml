@@ -40,18 +40,51 @@ let pool () = Lazy.force pool
 let wall_seconds = ref 0.
 let wall_events = ref 0
 
+(* (name, wall seconds, trials) per timed experiment, oldest first —
+   dumped to BENCH_main.json at exit so CI can archive wall times. *)
+let wall_records : (string * float * int) list ref = ref []
+
 let timed name ?trials run =
   let (), dt =
     Mcx.Util.Timing.time (fun () -> Mcx.Util.Telemetry.span ("bench." ^ name) run)
   in
   wall_seconds := !wall_seconds +. dt;
   incr wall_events;
-  match trials with
-  | Some n when n > 0 ->
-    Mcx.Util.Telemetry.count ~n "bench.trials";
-    Printf.eprintf "[mcx] %-9s wall %7.2fs  %8d trials  %10.1f us/trial\n%!" name dt n
-      (1e6 *. dt /. float_of_int n)
-  | _ -> Printf.eprintf "[mcx] %-9s wall %7.2fs\n%!" name dt
+  let trials = match trials with Some n when n > 0 -> n | _ -> 0 in
+  wall_records := (name, dt, trials) :: !wall_records;
+  if trials > 0 then begin
+    Mcx.Util.Telemetry.count ~n:trials "bench.trials";
+    Printf.eprintf "[mcx] %-9s wall %7.2fs  %8d trials  %10.1f us/trial\n%!" name dt
+      trials
+      (1e6 *. dt /. float_of_int trials)
+  end
+  else Printf.eprintf "[mcx] %-9s wall %7.2fs\n%!" name dt
+
+(* The mcx-bench/1 wall-time dump (schema in EXPERIMENTS.md): one entry
+   per timed experiment, measurements only — never byte-stable, so it
+   lives next to the CSVs, not in stdout. *)
+let write_bench_json path =
+  let module J = Mcx.Util.Json_out in
+  let experiment (name, dt, trials) =
+    J.Obj
+      ([ ("name", J.Str name); ("wall_s", J.Float dt) ]
+      @
+      if trials = 0 then []
+      else
+        [
+          ("trials", J.Int trials);
+          ("us_per_trial", J.Float (1e6 *. dt /. float_of_int trials));
+        ])
+  in
+  J.write_file path
+    (J.Obj
+       [
+         ("schema", J.Str "mcx-bench/1");
+         ("seed", J.Int seed);
+         ("jobs", J.Int (Mcx.Util.Pool.jobs (pool ())));
+         ("experiments", J.List (List.map experiment (List.rev !wall_records)));
+         ("total_wall_s", J.Float !wall_seconds);
+       ])
 
 let heading title =
   Printf.printf "\n==============================================================\n";
@@ -411,10 +444,13 @@ let () =
           (String.concat ", " (List.map fst experiments));
         exit 2)
     requested;
-  if !wall_events > 0 then
+  if !wall_events > 0 then begin
     Printf.eprintf "[mcx] total     wall %7.2fs over %d Monte Carlo experiments (MCX_JOBS=%d)\n%!"
       !wall_seconds !wall_events
       (Mcx.Util.Pool.jobs (pool ()));
+    write_bench_json "BENCH_main.json";
+    Printf.eprintf "[mcx] wall times written to BENCH_main.json\n%!"
+  end;
   (* Degradation protocol: tables above are already printed (partial
      where trials failed permanently); record the failures durably and
      exit nonzero so CI notices. *)

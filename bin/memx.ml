@@ -9,6 +9,7 @@
      show       render the programmed crossbar as ASCII art
      bench      list the built-in benchmark suite
      serve      answer a JSONL stream of mapping requests (cached, batched)
+     report     analyze serving observability files (access/metrics/trace)
      experiment run a paper experiment (fig6 | table1 | table2 | yield |
                 mldefect | ratesweep | ablation | tradeoff | aging) *)
 
@@ -301,12 +302,29 @@ let read_batch ic limit =
   in
   loop [] 0
 
-let serve_run () inputs output stats_path cache_size batch_size =
+let serve_run () inputs output stats_path cache_size batch_size access_log metrics_text
+    metrics_json =
   if batch_size <= 0 then begin
     Printf.eprintf "memx: --batch must be positive\n";
     exit 1
   end;
-  let server = Mcx_service.Serve.create ?cache_capacity:cache_size () in
+  let want_metrics = metrics_text <> None || metrics_json <> None in
+  if want_metrics then begin
+    Mcx.Util.Metrics.enable ();
+    (* The telemetry bridge needs counters recorded even when no trace
+       was requested; enabling without events keeps it cheap. *)
+    if not (Mcx.Util.Telemetry.enabled ()) then Mcx.Util.Telemetry.enable ~events:false ()
+  end;
+  let times = Mcx.Util.Telemetry.times_from_env () in
+  let access_out = Option.map open_out access_log in
+  let on_access =
+    Option.map
+      (fun oc record ->
+        output_string oc (Mcx_service.Access_log.to_line ~times record);
+        output_char oc '\n')
+      access_out
+  in
+  let server = Mcx_service.Serve.create ?cache_capacity:cache_size ?on_access () in
   let out, close_output =
     match output with
     | None -> (stdout, fun () -> flush stdout)
@@ -354,6 +372,7 @@ let serve_run () inputs output stats_path cache_size batch_size =
         emit responses)
       files);
   close_output ();
+  Option.iter close_out access_out;
   (match stats_path with
   | None -> ()
   | Some path ->
@@ -361,6 +380,23 @@ let serve_run () inputs output stats_path cache_size batch_size =
     output_string Stdlib.stderr (Mcx.Util.Texttable.render (Mcx_service.Serve.summary_table server));
     output_char Stdlib.stderr '\n';
     flush Stdlib.stderr);
+  if want_metrics then begin
+    Mcx_service.Serve.record_metrics server;
+    Mcx.Util.Checkpoint.record_metrics ();
+    Mcx.Util.Metrics.bridge_telemetry (Mcx.Util.Telemetry.snapshot ());
+    let snapshot = Mcx.Util.Metrics.snapshot () in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Mcx.Util.Metrics.Snapshot.to_openmetrics ~times snapshot);
+        close_out oc)
+      metrics_text;
+    Option.iter
+      (fun path ->
+        Mcx.Util.Json_out.write_file path
+          (Mcx.Util.Metrics.Snapshot.to_json ~times snapshot))
+      metrics_json
+  end;
   exit (Mcx_service.Serve.exit_code server)
 
 let serve_cmd =
@@ -401,9 +437,157 @@ let serve_cmd =
       value & opt int 256
       & info [ "batch" ] ~docv:"N" ~doc:"Requests per dispatch batch in stdin mode.")
   in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Write one mcx-access/1 JSONL record per request to $(docv): source kind, \
+             canonical digest, cache outcome, status, response bytes and per-stage \
+             durations. MCX_TRACE_TIMES=0 omits the durations, leaving the \
+             deterministic projection.")
+  in
+  let metrics_text =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Export the metrics registry (request/cache/stage families, cache and pool \
+             bridges, telemetry counters) as OpenMetrics/Prometheus text to $(docv) at \
+             exit.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Export the same metrics snapshot as an mcx-metrics/1 JSON document.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve defect-tolerant mapping requests from a JSONL stream.")
-    Term.(const serve_run $ verbosity $ inputs $ output $ stats $ cache_size $ batch)
+    Term.(
+      const serve_run $ verbosity $ inputs $ output $ stats $ cache_size $ batch
+      $ access_log $ metrics_text $ metrics_json)
+
+(* --- report --- *)
+
+let report_run () access_files metrics_file trace_file diff_pair threshold min_total_ms =
+  let module Report = Mcx_service.Report in
+  let print_table table =
+    print_string (Mcx.Util.Texttable.render table);
+    print_newline ()
+  in
+  let failed = ref false in
+  let regressed = ref false in
+  let or_warn = function
+    | Ok v -> Some v
+    | Error msg ->
+      Printf.eprintf "memx report: %s\n" msg;
+      failed := true;
+      None
+  in
+  if access_files = [] && metrics_file = None && trace_file = None && diff_pair = None
+  then begin
+    Printf.eprintf
+      "memx report: nothing to report (pass --access, --metrics, --trace or --diff)\n";
+    exit 1
+  end;
+  List.iter
+    (fun path ->
+      match or_warn (Report.load_access path) with
+      | None -> ()
+      | Some summary ->
+        Printf.printf "== %s ==\n" path;
+        List.iter print_table (Report.access_tables summary))
+    access_files;
+  Option.iter
+    (fun path ->
+      match or_warn (Report.load_metrics path) with
+      | None -> ()
+      | Some table ->
+        Printf.printf "== %s ==\n" path;
+        print_table table)
+    metrics_file;
+  Option.iter
+    (fun path ->
+      match or_warn (Report.load_trace path) with
+      | None -> ()
+      | Some table ->
+        Printf.printf "== %s ==\n" path;
+        print_table table)
+    trace_file;
+  Option.iter
+    (fun (old_path, new_path) ->
+      match
+        (or_warn (Report.load_access old_path), or_warn (Report.load_access new_path))
+      with
+      | Some old_run, Some new_run ->
+        let min_total_ns = Int64.of_float (min_total_ms *. 1e6) in
+        let findings = Report.diff ~threshold ~min_total_ns old_run new_run in
+        Printf.printf "== diff %s -> %s ==\n" old_path new_path;
+        if findings = [] then print_endline "no mismatches, no regressions"
+        else begin
+          print_table (Report.diff_table findings);
+          regressed := true
+        end
+      | _ -> ())
+    diff_pair;
+  if !failed then exit 1 else if !regressed then exit 3
+
+let report_cmd =
+  let access =
+    Arg.(
+      value & opt_all string []
+      & info [ "access"; "a" ] ~docv:"FILE"
+          ~doc:"Summarize an mcx-access/1 access log (repeatable).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics"; "m" ] ~docv:"FILE" ~doc:"Render an mcx-metrics/1 JSON snapshot.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-file"; "t" ] ~docv:"FILE"
+          ~doc:
+            "Aggregate an mcx-trace/1 Chrome trace by span name ($(b,--trace) is the \
+             global record-a-trace flag).")
+  in
+  let diff =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' string string)) None
+      & info [ "diff" ] ~docv:"OLD,NEW"
+          ~doc:
+            "Compare two access logs: deterministic fields (request count, status and \
+             cache breakdowns) must match exactly; stage mean latencies may grow at most \
+             $(b,--threshold)-fold. Exits 3 on any finding — the CI regression gate.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 1.5
+      & info [ "threshold" ] ~docv:"X"
+          ~doc:"Latency regression factor for $(b,--diff) (new mean vs old mean).")
+  in
+  let min_total_ms =
+    Arg.(
+      value & opt float 50.
+      & info [ "min-total-ms" ] ~docv:"MS"
+          ~doc:
+            "Ignore latency regressions in stages whose new total time is below $(docv) \
+             (noise floor).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Analyze serving observability files: access logs, metrics, traces.")
+    Term.(
+      const report_run $ verbosity $ access $ metrics $ trace $ diff $ threshold
+      $ min_total_ms)
 
 (* --- experiment --- *)
 
@@ -478,6 +662,9 @@ let main =
   Cmd.group
     (Cmd.info "memx" ~version:"1.0.0"
        ~doc:"Logic synthesis and defect tolerance for memristive crossbar arrays.")
-    [ synth_cmd; map_cmd; sim_cmd; export_cmd; show_cmd; bench_cmd; serve_cmd; experiment_cmd ]
+    [
+      synth_cmd; map_cmd; sim_cmd; export_cmd; show_cmd; bench_cmd; serve_cmd;
+      report_cmd; experiment_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -39,10 +39,23 @@ let clock_owners =
 let prng_owners = [ "lib/util/prng.ml"; "lib/util/prng.mli" ]
 
 (* DLS-guarded modules exempt from the top-level mutable state rule. *)
-let dls_guarded = [ "lib/util/telemetry.ml"; "lib/util/prng.ml" ]
+let dls_guarded = [ "lib/util/telemetry.ml"; "lib/util/prng.ml"; "lib/util/metrics.ml" ]
 
 (* Designated rendering/report modules that may write to stdout. *)
 let render_owners = [ "lib/crossbar/render.ml"; "lib/util/texttable.ml" ]
+
+(* Designated stderr summary/logging modules in the instrumented layers
+   (checkpoint resume/degradation notices; the telemetry exit summary).
+   Everything else in lib/util and lib/service must surface diagnostics
+   through structured channels — Access_log, Metrics, return values —
+   not ad-hoc prints that no tool can ingest. *)
+let stderr_owners = [ "lib/util/checkpoint.ml"; "lib/util/telemetry.ml" ]
+
+let in_instrumented rel =
+  let p = effective_path rel in
+  starts_with ~prefix:"lib/util/" p
+  || starts_with ~prefix:"lib/service/" p
+  || starts_with ~prefix:"lib/lint_fixtures/" p
 
 (* The JSON emitter itself is the one place float formatting may live. *)
 let json_owners = [ "lib/util/json_out.ml" ]
@@ -98,6 +111,14 @@ let all : t list =
       kind = Source;
     };
     {
+      id = "output-stderr-print";
+      synopsis =
+        "raw stderr printing (prerr_*/Printf.eprintf/Format.eprintf) in lib/util and \
+         lib/service outside the designated summary modules; emit structured records \
+         (Access_log, Metrics) instead";
+      kind = Source;
+    };
+    {
       id = "output-float-json";
       synopsis =
         "hand-rolled float-to-JSON formatting (sprintf with %f and '{'/'\"'); use \
@@ -137,5 +158,6 @@ let applies rule rel =
     true
   | "domain-toplevel-state" -> in_lib rel && not (is_one_of rel dls_guarded)
   | "output-print" -> in_lib rel && not (is_one_of rel render_owners)
+  | "output-stderr-print" -> in_instrumented rel && not (is_one_of rel stderr_owners)
   | "output-float-json" -> in_lib rel && not (is_one_of rel json_owners)
   | _ -> false

@@ -45,6 +45,19 @@ let stdout_idents =
     [ "Format"; "print_newline" ];
   ]
 
+let stderr_idents =
+  [
+    [ "prerr_endline" ];
+    [ "prerr_string" ];
+    [ "prerr_newline" ];
+    [ "prerr_char" ];
+    [ "prerr_int" ];
+    [ "prerr_float" ];
+    [ "prerr_bytes" ];
+    [ "Printf"; "eprintf" ];
+    [ "Format"; "eprintf" ];
+  ]
+
 let sprintf_idents =
   [
     [ "Printf"; "sprintf" ];
@@ -147,6 +160,13 @@ let run ~file (str : Parsetree.structure) =
         (Printf.sprintf
            "%s writes to stdout from library code; route through Render/Texttable or a \
             Format printer"
+           shown);
+    if List.mem path stderr_idents then
+      add ~rule:"output-stderr-print" ~loc
+        (Printf.sprintf
+           "%s prints raw text to stderr from an instrumented layer; emit a structured \
+            record (Access_log, Metrics, a returned Texttable) or move it to a \
+            designated summary module"
            shown);
     match path with
     | [ "Obj"; "magic" ] -> add ~rule:"hygiene-obj-magic" ~loc "Obj.magic defeats the type system"

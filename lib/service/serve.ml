@@ -6,6 +6,7 @@
 module Pool = Mcx_util.Pool
 module Lru = Mcx_util.Lru
 module Telemetry = Mcx_util.Telemetry
+module Metrics = Mcx_util.Metrics
 module Timing = Mcx_util.Timing
 module Json = Mcx_util.Json_out
 module Mapper = Mcx_mapping.Mapper
@@ -31,6 +32,7 @@ type result_value =
 type t = {
   pool : Pool.t;
   cache : result_value Lru.t;
+  on_access : (Access_log.record -> unit) option;
   mutable batches_rev : batch_stats list;
   mutable errors_total : int;
   mutable requests_total : int;
@@ -44,7 +46,7 @@ let default_cache_capacity () =
     | Some _ | None -> 512)
   | None -> 512
 
-let create ?pool ?cache_capacity () =
+let create ?pool ?cache_capacity ?on_access () =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let capacity =
     match cache_capacity with Some c -> c | None -> default_cache_capacity ()
@@ -52,6 +54,7 @@ let create ?pool ?cache_capacity () =
   {
     pool;
     cache = Lru.create ~name:"serve.cache" ~capacity ();
+    on_access;
     batches_rev = [];
     errors_total = 0;
     requests_total = 0;
@@ -62,10 +65,13 @@ type disposition =
   | Malformed of { id : string; error : string }
   | Ready of Canonical.t
 
-(* How a ready request's result is obtained. *)
+(* How a ready request's result is obtained. [Coalesced] and [Missed]
+   both read the batch-local result table; they differ only in the
+   access-log outcome (and a coalesced request did no work itself). *)
 type source =
   | Hit of { value : result_value; lookup_ns : int64 }
-  | Computed of string  (** digest; result in the batch-local table *)
+  | Coalesced of string
+  | Missed of string
 
 let compute (canonical : Canonical.t) =
   Telemetry.span "serve.map" @@ fun () ->
@@ -114,10 +120,33 @@ let response_of_result (canonical : Canonical.t) result ~elapsed_ns =
           verified;
         })
 
-let percentile buckets ~calls ~total_ns ~max_ns ~p =
-  Telemetry.Report.percentile_ns
-    { Telemetry.Report.name = "serve.request"; calls; total_ns; max_ns; buckets }
-    ~p
+let declare_metrics () =
+  if Metrics.enabled () then begin
+    Metrics.declare ~help:"requests served, by response status" Metrics.Counter
+      "mcx_serve_requests_total";
+    Metrics.declare ~help:"requests served, by cache outcome" Metrics.Counter
+      "mcx_serve_cache_total";
+    Metrics.declare ~help:"per-request stage durations" Metrics.Histogram
+      "mcx_serve_stage_ns"
+  end
+
+let observe_access (record : Access_log.record) =
+  if Metrics.enabled () then begin
+    Metrics.inc
+      ~labels:[ ("status", record.Access_log.status) ]
+      "mcx_serve_requests_total";
+    Metrics.inc
+      ~labels:
+        [ ("outcome", Access_log.cache_outcome_to_string record.Access_log.cache) ]
+      "mcx_serve_cache_total";
+    List.iter
+      (fun stage ->
+        Metrics.observe_ns
+          ~labels:[ ("stage", stage) ]
+          "mcx_serve_stage_ns"
+          (Access_log.stage_ns record stage))
+      Access_log.stage_names
+  end
 
 let serve_batch t ~label lines =
   Telemetry.span "serve.batch" @@ fun () ->
@@ -126,17 +155,29 @@ let serve_batch t ~label lines =
   let n = Array.length lines in
   t.requests_total <- t.requests_total + n;
   Telemetry.count ~n "serve.requests";
+  declare_metrics ();
+  let parse_ns = Array.make n 0L in
+  let resolve_ns = Array.make n 0L in
   (* Stage 1: parse + canonicalize, isolated per request. *)
   let dispositions =
     Telemetry.span "serve.parse" @@ fun () ->
     let parsed =
-      Array.mapi (fun index line -> Wire.request_of_line ~index line) lines
+      Array.mapi
+        (fun index line ->
+          let t0 = Timing.monotonic_ns () in
+          let r = Wire.request_of_line ~index line in
+          parse_ns.(index) <- Int64.sub (Timing.monotonic_ns ()) t0;
+          r)
+        lines
     in
     let resolved =
       Pool.map_isolated t.pool n (fun ~attempt:_ i ->
           match parsed.(i) with
-          | Error msg -> Error msg
-          | Ok request -> Ok (Canonical.resolve request))
+          | Error msg -> (Error msg, 0L)
+          | Ok request ->
+            let t0 = Timing.monotonic_ns () in
+            let canonical = Canonical.resolve request in
+            (Ok canonical, Int64.sub (Timing.monotonic_ns ()) t0))
     in
     Array.init n (fun i ->
         let id_of_line () =
@@ -145,8 +186,10 @@ let serve_batch t ~label lines =
           | Error _ -> Printf.sprintf "#%d" i
         in
         match resolved.(i) with
-        | Pool.Done (Ok canonical) -> Ready canonical
-        | Pool.Done (Error msg) -> Malformed { id = id_of_line (); error = msg }
+        | Pool.Done (Ok canonical, ns) ->
+          resolve_ns.(i) <- ns;
+          Ready canonical
+        | Pool.Done (Error msg, _) -> Malformed { id = id_of_line (); error = msg }
         | Pool.Failed { error; _ } -> Malformed { id = id_of_line (); error }
         | Pool.Skipped ->
           Malformed { id = id_of_line (); error = "request cancelled" })
@@ -164,7 +207,7 @@ let serve_batch t ~label lines =
           let digest = canonical.Canonical.digest in
           if Hashtbl.mem pending digest then begin
             incr coalesced;
-            Some (Computed digest)
+            Some (Coalesced digest)
           end
           else
             let t0 = Timing.monotonic_ns () in
@@ -175,7 +218,7 @@ let serve_batch t ~label lines =
             | None ->
               Hashtbl.add pending digest ();
               miss_list := (digest, canonical) :: !miss_list;
-              Some (Computed digest)))
+              Some (Missed digest)))
       dispositions
   in
   let misses = Array.of_list (List.rev !miss_list) in
@@ -200,44 +243,85 @@ let serve_batch t ~label lines =
   in
   (* Stage 4: responses in request order + latency accounting. *)
   let buckets = Array.make Telemetry.n_buckets 0 in
-  let calls = ref 0 and total_ns = ref 0L and max_ns = ref 0L in
+  let calls = ref 0 in
   let errors = ref 0 and infeasible = ref 0 in
   let observe ns =
     incr calls;
-    total_ns := Int64.add !total_ns ns;
-    if Int64.compare ns !max_ns > 0 then max_ns := ns;
     buckets.(Telemetry.bucket_of_ns ns) <- buckets.(Telemetry.bucket_of_ns ns) + 1;
     Telemetry.observe_ns "serve.request" ns
   in
-  let responses =
+  let rendered =
     Telemetry.span "serve.render" @@ fun () ->
-    Array.to_list
-      (Array.mapi
-         (fun i disposition ->
-           let response =
-             match disposition with
-             | Malformed { id; error } ->
-               { (Wire.response ~id Wire.Failed) with Wire.error = Some error }
-             | Ready canonical -> (
-               let result, elapsed_ns =
-                 match sources.(i) with
-                 | Some (Hit { value; lookup_ns }) -> (Ok value, lookup_ns)
-                 | Some (Computed digest) -> (
-                   match Hashtbl.find_opt results digest with
-                   | Some (result, elapsed_ns) -> (result, elapsed_ns)
-                   | None -> (Error "internal: result missing", 0L))
-                 | None -> (Error "internal: no source", 0L)
-               in
-               observe elapsed_ns;
-               response_of_result canonical result ~elapsed_ns)
-           in
-           (match response.Wire.status with
-           | Wire.Failed -> incr errors
-           | Wire.Infeasible -> incr infeasible
-           | Wire.Ok_mapped | Wire.Deadline -> ());
-           Wire.response_to_line response)
-         dispositions)
+    Array.mapi
+      (fun i disposition ->
+        let response, compute_ns =
+          match disposition with
+          | Malformed { id; error } ->
+            ({ (Wire.response ~id Wire.Failed) with Wire.error = Some error }, 0L)
+          | Ready canonical ->
+            let result, elapsed_ns, compute_ns =
+              match sources.(i) with
+              | Some (Hit { value; lookup_ns }) -> (Ok value, lookup_ns, lookup_ns)
+              | Some (Coalesced digest | Missed digest) -> (
+                let coalesced =
+                  match sources.(i) with Some (Coalesced _) -> true | _ -> false
+                in
+                match Hashtbl.find_opt results digest with
+                | Some (result, elapsed_ns) ->
+                  (result, elapsed_ns, if coalesced then 0L else elapsed_ns)
+                | None -> (Error "internal: result missing", 0L, 0L))
+              | None -> (Error "internal: no source", 0L, 0L)
+            in
+            observe elapsed_ns;
+            (response_of_result canonical result ~elapsed_ns, compute_ns)
+        in
+        (match response.Wire.status with
+        | Wire.Failed -> incr errors
+        | Wire.Infeasible -> incr infeasible
+        | Wire.Ok_mapped | Wire.Deadline -> ());
+        let t0 = Timing.monotonic_ns () in
+        let line = Wire.response_to_line response in
+        let render_ns = Int64.sub (Timing.monotonic_ns ()) t0 in
+        let source, digest =
+          match disposition with
+          | Malformed _ -> ("invalid", None)
+          | Ready canonical ->
+            ( (match canonical.Canonical.request.Wire.source with
+              | `Pla _ -> "pla"
+              | `Benchmark _ -> "benchmark"),
+              Some canonical.Canonical.digest )
+        in
+        let record =
+          {
+            Access_log.index = i;
+            id = response.Wire.id;
+            source;
+            digest;
+            cache =
+              (match sources.(i) with
+              | Some (Hit _) -> Access_log.Hit
+              | Some (Coalesced _) -> Access_log.Coalesced
+              | Some (Missed _) -> Access_log.Miss
+              | None -> Access_log.None_);
+            status = Wire.status_to_string response.Wire.status;
+            bytes = String.length line;
+            parse_ns = parse_ns.(i);
+            resolve_ns = resolve_ns.(i);
+            compute_ns;
+            render_ns;
+          }
+        in
+        (line, record))
+      dispositions
   in
+  (* Access records strictly in request-index order, after the whole
+     batch rendered: the sink sees the same sequence at any MCX_JOBS. *)
+  Array.iter
+    (fun (_, record) ->
+      observe_access record;
+      match t.on_access with Some sink -> sink record | None -> ())
+    rendered;
+  let responses = Array.to_list (Array.map fst rendered) in
   t.errors_total <- t.errors_total + !errors;
   let stats =
     {
@@ -250,8 +334,8 @@ let serve_batch t ~label lines =
       infeasible = !infeasible;
       evictions;
       elapsed_ns = Int64.sub (Timing.monotonic_ns ()) batch_t0;
-      p50_ns = percentile buckets ~calls:!calls ~total_ns:!total_ns ~max_ns:!max_ns ~p:0.50;
-      p95_ns = percentile buckets ~calls:!calls ~total_ns:!total_ns ~max_ns:!max_ns ~p:0.95;
+      p50_ns = Telemetry.Report.percentile_of_buckets buckets ~calls:!calls ~p:0.50;
+      p95_ns = Telemetry.Report.percentile_of_buckets buckets ~calls:!calls ~p:0.95;
     }
   in
   t.batches_rev <- stats :: t.batches_rev;
@@ -329,3 +413,12 @@ let summary_table t =
         ])
     (batches t);
   table
+
+let record_metrics t =
+  if Metrics.enabled () then begin
+    Lru.record_metrics t.cache;
+    Pool.record_metrics t.pool;
+    Metrics.declare ~help:"batches served" Metrics.Counter "mcx_serve_batches_total";
+    let batches = List.length t.batches_rev in
+    if batches > 0 then Metrics.inc ~n:batches "mcx_serve_batches_total"
+  end

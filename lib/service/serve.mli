@@ -46,9 +46,17 @@ type t
 val default_cache_capacity : unit -> int
 (** [MCX_CACHE_SIZE] when set to a non-negative integer, else 512. *)
 
-val create : ?pool:Mcx_util.Pool.t -> ?cache_capacity:int -> unit -> t
+val create :
+  ?pool:Mcx_util.Pool.t ->
+  ?cache_capacity:int ->
+  ?on_access:(Access_log.record -> unit) ->
+  unit ->
+  t
 (** [pool] defaults to {!Mcx_util.Pool.default} (honoring [MCX_JOBS]);
-    [cache_capacity] to {!default_cache_capacity}. *)
+    [cache_capacity] to {!default_cache_capacity}. [on_access] receives
+    one {!Access_log.record} per served request, strictly in
+    request-index order after the batch finishes (never from a pool
+    worker) — the [--access-log] sink. *)
 
 val serve_batch : t -> label:string -> string list -> string list * batch_stats
 (** Serve one batch of request lines. Returns one response line per
@@ -72,3 +80,12 @@ val stats_json : t -> Mcx_util.Json_out.t
 
 val summary_table : t -> Mcx_util.Texttable.t
 (** Human-readable per-batch summary for the [--stats] stderr report. *)
+
+val record_metrics : t -> unit
+(** One-shot export of server state into the {!Mcx_util.Metrics}
+    registry: the cache counters ({!Mcx_util.Lru.record_metrics}), the
+    pool size ({!Mcx_util.Pool.record_metrics}) and the served batch
+    count. Per-request counters ([mcx_serve_requests_total],
+    [mcx_serve_cache_total]) and stage histograms ([mcx_serve_stage_ns])
+    are recorded live by {!serve_batch} instead. No-op while
+    {!Mcx_util.Metrics.enabled} is false. *)

@@ -90,6 +90,10 @@ type response = {
   error : string option;
 }
 
+val status_to_string : status -> string
+(** The wire encoding: ["ok"], ["infeasible"], ["deadline"], ["error"]
+    — also the [status] field of {!Access_log} records. *)
+
 val response : id:string -> status -> response
 (** A response with every optional field empty. *)
 

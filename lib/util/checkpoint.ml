@@ -488,6 +488,11 @@ let manifest_json fs =
              fs) );
     ]
 
+let record_metrics () =
+  Metrics.declare ~help:"trials that failed permanently (degradation protocol)"
+    Metrics.Gauge "mcx_checkpoint_failed_trials";
+  Metrics.set "mcx_checkpoint_failed_trials" (float_of_int (List.length (failures ())))
+
 let finalize () =
   match failures () with
   | [] -> 0

@@ -135,6 +135,11 @@ val finalize : unit -> int
     (schema [mcx-failed-trials/1]), prints a summary to stderr and
     returns 4 — the exit status for "completed with partial results". *)
 
+val record_metrics : unit -> unit
+(** Export the permanent-failure count into the {!Metrics} registry as
+    the [mcx_checkpoint_failed_trials] gauge. No-op while
+    {!Metrics.enabled} is false. *)
+
 val reset : unit -> unit
 (** Forget recorded failures (not the journal). For test harnesses that
     exercise the degradation path repeatedly in one process. *)

@@ -1,0 +1,447 @@
+(* Labeled metrics registry. Counters and histograms follow the
+   Telemetry recording discipline — per-domain DLS buffers, keyed
+   commutative merge at snapshot time — so their values are independent
+   of which domain recorded what. Gauges are current-value cells and
+   live in one small mutex-guarded table instead. *)
+
+type kind = Counter | Gauge | Histogram
+
+let n_buckets = Telemetry.n_buckets
+
+(* --- name and label validation --------------------------------------- *)
+
+let valid_metric_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+
+let valid_label_name s =
+  s <> "le"
+  && s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+(* Sorted, validated label set plus its canonical rendering (series
+   identity within a family). *)
+let normalize_labels labels =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  let rec dedup_check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if String.equal a b then
+        invalid_arg (Printf.sprintf "Metrics: duplicate label %S" a);
+      dedup_check rest
+    | [ _ ] | [] -> ()
+  in
+  List.iter
+    (fun (name, _) ->
+      if not (valid_label_name name) then
+        invalid_arg (Printf.sprintf "Metrics: invalid label name %S" name))
+    sorted;
+  dedup_check sorted;
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf value;
+      Buffer.add_char buf '\x01')
+    sorted;
+  (sorted, Buffer.contents buf)
+
+(* --- registry state --------------------------------------------------- *)
+
+type family_meta = { mutable fkind : kind; mutable help : string; mutable measured : bool }
+
+type hist = { mutable count : int; mutable sum_ns : int64; buckets : int array }
+
+type buffer = {
+  counter_tbl : (string * string, (string * string) list * int ref) Hashtbl.t;
+  hist_tbl : (string * string, (string * string) list * hist) Hashtbl.t;
+  (* Families this domain already kind-checked: the hot path re-checks
+     locally instead of taking the registry mutex per record. *)
+  known : (string, kind) Hashtbl.t;
+}
+
+let enabled_flag = ref false
+let state_mutex = Mutex.create ()
+
+(* family name -> metadata; guarded by [state_mutex]. *)
+let families : (string, family_meta) Hashtbl.t = Hashtbl.create 32
+
+(* gauge cells: (family, label key) -> (labels, value); guarded. *)
+let gauges : (string * string, (string * string) list * float ref) Hashtbl.t =
+  Hashtbl.create 32
+
+let registry : buffer list ref = ref []
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { counter_tbl = Hashtbl.create 32; hist_tbl = Hashtbl.create 32; known = Hashtbl.create 32 }
+      in
+      Mutex.lock state_mutex;
+      registry := b :: !registry;
+      Mutex.unlock state_mutex;
+      b)
+
+let buffer () = Domain.DLS.get buffer_key
+
+let enabled () = !enabled_flag
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+
+let reset () =
+  Mutex.lock state_mutex;
+  Hashtbl.reset families;
+  Hashtbl.reset gauges;
+  List.iter
+    (fun b ->
+      Hashtbl.reset b.counter_tbl;
+      Hashtbl.reset b.hist_tbl;
+      Hashtbl.reset b.known)
+    !registry;
+  Mutex.unlock state_mutex
+
+let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Histogram -> "histogram"
+
+(* Declare-or-check under the mutex: the DLS buffers are lock-free but
+   family metadata is shared, and declaration is rare (first use). *)
+let declare_locked ?help ?measured kind name =
+  if not (valid_metric_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  match Hashtbl.find_opt families name with
+  | Some meta ->
+    if meta.fkind <> kind then
+      invalid_arg
+        (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name meta.fkind)
+           (kind_name kind));
+    Option.iter (fun h -> meta.help <- h) help;
+    Option.iter (fun m -> meta.measured <- m) measured
+  | None ->
+    Hashtbl.replace families name
+      {
+        fkind = kind;
+        help = Option.value help ~default:"";
+        measured = Option.value measured ~default:false;
+      }
+
+let declare ?help ?measured kind name =
+  Mutex.lock state_mutex;
+  match declare_locked ?help ?measured kind name with
+  | () -> Mutex.unlock state_mutex
+  | exception e ->
+    Mutex.unlock state_mutex;
+    raise e
+
+let check_kind b kind name =
+  match Hashtbl.find_opt b.known name with
+  | Some k when k = kind -> ()
+  | Some k ->
+    invalid_arg
+      (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name k) (kind_name kind))
+  | None ->
+    Mutex.lock state_mutex;
+    (match declare_locked kind name with
+    | () -> Mutex.unlock state_mutex
+    | exception e ->
+      Mutex.unlock state_mutex;
+      raise e);
+    Hashtbl.replace b.known name kind
+
+(* --- recording -------------------------------------------------------- *)
+
+let inc ?(labels = []) ?(n = 1) name =
+  if !enabled_flag then begin
+    let b = buffer () in
+    check_kind b Counter name;
+    let labels, key = normalize_labels labels in
+    match Hashtbl.find_opt b.counter_tbl (name, key) with
+    | Some (_, r) -> r := !r + n
+    | None -> Hashtbl.replace b.counter_tbl (name, key) (labels, ref n)
+  end
+
+let set ?(labels = []) name v =
+  if !enabled_flag then begin
+    check_kind (buffer ()) Gauge name;
+    let labels, key = normalize_labels labels in
+    Mutex.lock state_mutex;
+    (match Hashtbl.find_opt gauges (name, key) with
+    | Some (_, r) -> r := v
+    | None -> Hashtbl.replace gauges (name, key) (labels, ref v));
+    Mutex.unlock state_mutex
+  end
+
+let hist_of b name key labels =
+  match Hashtbl.find_opt b.hist_tbl (name, key) with
+  | Some (_, h) -> h
+  | None ->
+    let h = { count = 0; sum_ns = 0L; buckets = Array.make n_buckets 0 } in
+    Hashtbl.replace b.hist_tbl (name, key) (labels, h);
+    h
+
+let observe_ns ?(labels = []) name ns =
+  if !enabled_flag then begin
+    let b = buffer () in
+    check_kind b Histogram name;
+    let labels, key = normalize_labels labels in
+    let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+    let h = hist_of b name key labels in
+    h.count <- h.count + 1;
+    h.sum_ns <- Int64.add h.sum_ns ns;
+    let i = Telemetry.bucket_of_ns ns in
+    h.buckets.(i) <- h.buckets.(i) + 1
+  end
+
+let merge_histogram ?(labels = []) name ~count ~sum_ns ~buckets =
+  if !enabled_flag then begin
+    let b = buffer () in
+    check_kind b Histogram name;
+    if Array.length buckets > n_buckets then
+      invalid_arg "Metrics.merge_histogram: too many buckets";
+    let labels, key = normalize_labels labels in
+    let h = hist_of b name key labels in
+    h.count <- h.count + count;
+    h.sum_ns <- Int64.add h.sum_ns sum_ns;
+    Array.iteri (fun i c -> h.buckets.(i) <- h.buckets.(i) + c) buckets
+  end
+
+(* --- snapshot --------------------------------------------------------- *)
+
+module Snapshot = struct
+  type value =
+    | Counter of int
+    | Gauge of float
+    | Histogram of { count : int; sum_ns : int64; buckets : int array }
+
+  type series = { labels : (string * string) list; value : value }
+
+  type family = {
+    name : string;
+    kind : kind;
+    help : string;
+    measured : bool;
+    series : series list;
+  }
+
+  type t = family list
+
+  (* --- OpenMetrics text ------------------------------------------- *)
+
+  let escape_help s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let escape_label_value s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* [{k="v",...}] with [extra] appended; empty label set renders as
+     nothing (plain [name value] sample). *)
+  let render_labels ?extra labels =
+    let pairs =
+      List.map
+        (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+        labels
+      @ match extra with Some kv -> [ kv ] | None -> []
+    in
+    match pairs with [] -> "" | pairs -> "{" ^ String.concat "," pairs ^ "}"
+
+  let int64_string = Int64.to_string
+
+  let sample buf name labels value =
+    Buffer.add_string buf name;
+    Buffer.add_string buf labels;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf value;
+    Buffer.add_char buf '\n'
+
+  let add_histogram_text buf ~times name s =
+    match s.value with
+    | Histogram { count; sum_ns; buckets } ->
+      if times then begin
+        (* Cumulative buckets up to the last occupied one, then +Inf. *)
+        let last = ref (-1) in
+        Array.iteri (fun i c -> if c > 0 then last := i) buckets;
+        let acc = ref 0 in
+        for i = 0 to !last do
+          acc := !acc + buckets.(i);
+          let _, hi = Telemetry.bucket_bounds i in
+          sample buf (name ^ "_bucket")
+            (render_labels ~extra:(Printf.sprintf "le=\"%s\"" (int64_string hi)) s.labels)
+            (string_of_int !acc)
+        done;
+        sample buf (name ^ "_bucket")
+          (render_labels ~extra:"le=\"+Inf\"" s.labels)
+          (string_of_int count);
+        sample buf (name ^ "_sum") (render_labels s.labels) (int64_string sum_ns)
+      end;
+      sample buf (name ^ "_count") (render_labels s.labels) (string_of_int count)
+    | Counter _ | Gauge _ -> assert false
+
+  let to_openmetrics ?(times = true) t =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun f ->
+        if times || not f.measured then begin
+          if f.help <> "" then
+            Buffer.add_string buf
+              (Printf.sprintf "# HELP %s %s\n" f.name (escape_help f.help));
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s %s\n" f.name (kind_name f.kind));
+          List.iter
+            (fun s ->
+              match s.value with
+              | Counter n -> sample buf f.name (render_labels s.labels) (string_of_int n)
+              | Gauge v -> sample buf f.name (render_labels s.labels) (Json_out.float_repr v)
+              | Histogram _ -> add_histogram_text buf ~times f.name s)
+            f.series
+        end)
+      t;
+    Buffer.add_string buf "# EOF\n";
+    Buffer.contents buf
+
+  (* --- mcx-metrics/1 JSON ------------------------------------------ *)
+
+  let labels_json labels = Json_out.Obj (List.map (fun (k, v) -> (k, Json_out.Str v)) labels)
+
+  let series_json ~times s =
+    let base = [ ("labels", labels_json s.labels) ] in
+    match s.value with
+    | Counter n -> Json_out.Obj (base @ [ ("value", Json_out.Int n) ])
+    | Gauge v -> Json_out.Obj (base @ [ ("value", Json_out.Float v) ])
+    | Histogram { count; sum_ns; buckets } ->
+      let deterministic = base @ [ ("count", Json_out.Int count) ] in
+      if not times then Json_out.Obj deterministic
+      else
+        let sparse =
+          Array.to_list buckets
+          |> List.mapi (fun i c -> (i, c))
+          |> List.filter (fun (_, c) -> c > 0)
+          |> List.map (fun (i, c) -> Json_out.List [ Json_out.Int i; Json_out.Int c ])
+        in
+        Json_out.Obj
+          (deterministic
+          @ [
+              ("sum_ns", Json_out.Int (Int64.to_int sum_ns));
+              ("buckets", Json_out.List sparse);
+            ])
+
+  let to_json ?(times = true) t =
+    let family_json f =
+      Json_out.Obj
+        ([ ("name", Json_out.Str f.name); ("type", Json_out.Str (kind_name f.kind)) ]
+        @ (if f.help = "" then [] else [ ("help", Json_out.Str f.help) ])
+        @ [ ("series", Json_out.List (List.map (series_json ~times) f.series)) ])
+    in
+    let kept = List.filter (fun f -> times || not f.measured) t in
+    Json_out.Obj
+      [
+        ("schema", Json_out.Str "mcx-metrics/1");
+        ("metrics", Json_out.List (List.map family_json kept));
+      ]
+end
+
+let snapshot () =
+  Mutex.lock state_mutex;
+  let buffers = !registry in
+  let metas = Hashtbl.fold (fun name meta acc -> (name, meta) :: acc) families [] in
+  let gauge_cells =
+    Hashtbl.fold (fun (name, key) (labels, r) acc -> (name, key, labels, !r) :: acc) gauges []
+  in
+  Mutex.unlock state_mutex;
+  (* (family, label key) -> merged value, then grouped by family. *)
+  let merged : (string * string, (string * string) list * Snapshot.value) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (name, key, labels, v) ->
+      Hashtbl.replace merged (name, key) (labels, Snapshot.Gauge v))
+    gauge_cells;
+  List.iter
+    (fun b ->
+      Hashtbl.iter
+        (fun k (labels, r) ->
+          match Hashtbl.find_opt merged k with
+          | Some (_, Snapshot.Counter prev) ->
+            Hashtbl.replace merged k (labels, Snapshot.Counter (prev + !r))
+          | Some _ | None -> Hashtbl.replace merged k (labels, Snapshot.Counter !r))
+        b.counter_tbl;
+      Hashtbl.iter
+        (fun k (labels, h) ->
+          match Hashtbl.find_opt merged k with
+          | Some (_, Snapshot.Histogram prev) ->
+            Hashtbl.replace merged k
+              ( labels,
+                Snapshot.Histogram
+                  {
+                    count = prev.count + h.count;
+                    sum_ns = Int64.add prev.sum_ns h.sum_ns;
+                    buckets = Array.init n_buckets (fun i -> prev.buckets.(i) + h.buckets.(i));
+                  } )
+          | Some _ | None ->
+            Hashtbl.replace merged k
+              ( labels,
+                Snapshot.Histogram
+                  { count = h.count; sum_ns = h.sum_ns; buckets = Array.copy h.buckets } ))
+        b.hist_tbl)
+    buffers;
+  List.filter_map
+    (fun (name, meta) ->
+      let series =
+        Hashtbl.fold
+          (fun (fname, key) (labels, value) acc ->
+            if String.equal fname name then (key, { Snapshot.labels; value }) :: acc
+            else acc)
+          merged []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map snd
+      in
+      match series with
+      | [] -> None
+      | series ->
+        Some
+          {
+            Snapshot.name;
+            kind = meta.fkind;
+            help = meta.help;
+            measured = meta.measured;
+            series;
+          })
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) metas)
+
+(* --- bridges ----------------------------------------------------------- *)
+
+let bridge_telemetry report =
+  if !enabled_flag then begin
+    declare ~help:"telemetry counter totals (see MCX_TRACE)" Counter "mcx_telemetry_counter";
+    declare ~help:"telemetry span durations by span name" Histogram "mcx_telemetry_span_ns";
+    List.iter
+      (fun (name, n) -> inc ~labels:[ ("name", name) ] ~n "mcx_telemetry_counter")
+      (Telemetry.Report.counters report);
+    List.iter
+      (fun (s : Telemetry.Report.span_stat) ->
+        merge_histogram
+          ~labels:[ ("span", s.Telemetry.Report.name) ]
+          "mcx_telemetry_span_ns" ~count:s.Telemetry.Report.calls
+          ~sum_ns:s.Telemetry.Report.total_ns ~buckets:s.Telemetry.Report.buckets)
+      (Telemetry.Report.spans report)
+  end

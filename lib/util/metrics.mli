@@ -1,0 +1,149 @@
+(** Operational metrics: a process-wide registry of {e labeled} counters,
+    gauges and log2-bucket duration histograms, with an
+    OpenMetrics/Prometheus text exporter and a versioned [mcx-metrics/1]
+    JSON exporter.
+
+    {!Telemetry} answers "where did this run spend its time" for one
+    process; this module is the time-series-ready face of the same data:
+    every value is a named {e family} with a sorted label set, suitable
+    for scraping, diffing between runs ([memx report --diff]) and
+    shipping to a metrics backend.
+
+    {2 Recording model}
+
+    Counter increments and histogram observations go to per-domain
+    buffers (domain-local storage, the {!Telemetry} discipline), so
+    recording inside {!Pool} workers never contends on a lock. A
+    {!snapshot} merges the buffers {e keyed} by (family, labels) with
+    commutative sums — the merged value cannot depend on which domain
+    ran which trial, so counter values and histogram observation counts
+    are bit-identical at any [MCX_JOBS]. Gauges are "current value"
+    cells, not sums: they live in one mutex-guarded table and take the
+    last value set.
+
+    {2 Determinism and the [times] projection}
+
+    Histograms record durations; their [sum]/bucket placement are
+    measurements and vary run to run even though their observation
+    counts do not. Both exporters take [~times:false] (the CLI honors
+    [MCX_TRACE_TIMES=0], mirroring the telemetry summary) to render only
+    the deterministic projection: histogram series keep their
+    observation count but drop sum and buckets, and families declared
+    [~measured:true] (wall-clock gauges, environment facts like the pool
+    size) are omitted entirely. Under that projection the exported bytes
+    are identical at any [MCX_JOBS].
+
+    {2 Gating}
+
+    Like telemetry, nothing records until {!enable}: every entry point
+    reads one [bool ref] and returns when the registry is off. *)
+
+type kind = Counter | Gauge | Histogram
+
+val valid_metric_name : string -> bool
+(** [[a-zA-Z_:][a-zA-Z0-9_:]*] — the Prometheus metric-name grammar. *)
+
+val valid_label_name : string -> bool
+(** [[a-zA-Z_][a-zA-Z0-9_]*]; the reserved [le] label is also rejected
+    (the histogram exporter owns it). *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop every recorded series and every family declaration. Only call
+    while no {!Pool} batch is in flight. *)
+
+val declare : ?help:string -> ?measured:bool -> kind -> string -> unit
+(** Register family metadata (kind, OpenMetrics [# HELP] text, and
+    whether the family is a measurement to exclude from the
+    deterministic projection). Recording into an undeclared family
+    auto-declares it with no help and [measured = false]; a repeat
+    [declare] refreshes help/measured.
+    @raise Invalid_argument on an invalid name or when the family was
+    already declared (or used) with a different kind. *)
+
+(** {2 Recording}
+
+    [labels] defaults to the empty set; label order is irrelevant
+    (series identity uses the name-sorted rendering).
+    @raise Invalid_argument on invalid/duplicate label names or a kind
+    mismatch with the family's declaration. *)
+
+val inc : ?labels:(string * string) list -> ?n:int -> string -> unit
+(** Add [n] (default 1) to a counter series. *)
+
+val set : ?labels:(string * string) list -> string -> float -> unit
+(** Set a gauge series to a value (last write wins across the process). *)
+
+val observe_ns : ?labels:(string * string) list -> string -> int64 -> unit
+(** Record one duration into a histogram series ({!Telemetry.bucket_of_ns}
+    geometry: 64 log2 buckets). Negative durations clamp to 0. *)
+
+val merge_histogram :
+  ?labels:(string * string) list ->
+  string ->
+  count:int ->
+  sum_ns:int64 ->
+  buckets:int array ->
+  unit
+(** Fold a pre-aggregated histogram (e.g. a {!Telemetry} span stat) into
+    a histogram series. [buckets] longer than the registry geometry is
+    an error; shorter is padded. *)
+
+(** {2 Snapshot and exporters} *)
+
+module Snapshot : sig
+  type value =
+    | Counter of int
+    | Gauge of float
+    | Histogram of { count : int; sum_ns : int64; buckets : int array }
+
+  type series = { labels : (string * string) list; value : value }
+  (** [labels] sorted by label name. *)
+
+  type family = {
+    name : string;
+    kind : kind;
+    help : string;
+    measured : bool;
+    series : series list;  (** sorted by rendered label set *)
+  }
+
+  type t = family list
+  (** Sorted by family name. *)
+
+  val to_openmetrics : ?times:bool -> t -> string
+  (** Prometheus/OpenMetrics text exposition: [# HELP] (when non-empty)
+      and [# TYPE] per family, one sample line per series, ending with
+      [# EOF]. Histogram series render cumulative [_bucket] lines
+      ([le] = the bucket's exclusive ns upper bound, last ["+Inf"]),
+      then [_sum] and [_count]; trailing all-zero buckets are elided
+      (the cumulative reading is unchanged). With [times = false] only
+      the [_count] line of a histogram is emitted and [measured]
+      families are dropped. *)
+
+  val to_json : ?times:bool -> t -> Json_out.t
+  (** The [mcx-metrics/1] document (schema in EXPERIMENTS.md). Histogram
+      buckets are sparse [[index, count]] pairs; with [times = false],
+      histogram [sum_ns]/[buckets] and [measured] families are omitted. *)
+end
+
+val snapshot : unit -> Snapshot.t
+(** Merge every domain buffer and the gauge table. Only call while no
+    {!Pool} batch is in flight. *)
+
+(** {2 Bridges}
+
+    One-shot importers that snapshot existing subsystem stats into the
+    registry (no-ops while the registry is disabled). {!Lru.record_metrics},
+    {!Pool.record_metrics} and {!Checkpoint.record_metrics} are the
+    matching exporters on the producer side. *)
+
+val bridge_telemetry : Telemetry.Report.t -> unit
+(** Import a telemetry report: every counter becomes an
+    [mcx_telemetry_counter{name="..."}] series and every span aggregate
+    folds into an [mcx_telemetry_span_ns{span="..."}] histogram series
+    (calls are deterministic; durations are dropped by the [times]
+    projection as usual). *)

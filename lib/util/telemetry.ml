@@ -247,18 +247,20 @@ module Report = struct
       dropped = a.dropped + b.dropped;
     }
 
-  let percentile_ns stat ~p =
-    if p <= 0. || p > 1. then invalid_arg "Telemetry.Report.percentile_ns";
-    if stat.calls = 0 then 0L
+  let percentile_of_buckets buckets ~calls ~p =
+    if p <= 0. || p > 1. then invalid_arg "Telemetry.Report.percentile_of_buckets";
+    if calls = 0 then 0L
     else begin
-      let target = max 1 (int_of_float (ceil (p *. float_of_int stat.calls))) in
+      let target = max 1 (int_of_float (ceil (p *. float_of_int calls))) in
       let rec walk i acc =
-        let acc = acc + stat.buckets.(i) in
+        let acc = acc + buckets.(i) in
         if acc >= target || i = n_buckets - 1 then i else walk (i + 1) acc
       in
       let i = walk 0 0 in
       if i = n_buckets - 1 then Int64.max_int else Int64.sub (fst (bucket_bounds (i + 1))) 1L
     end
+
+  let percentile_ns stat ~p = percentile_of_buckets stat.buckets ~calls:stat.calls ~p
 
   let pp_ns ns =
     let ns = Int64.to_float ns in
@@ -394,15 +396,16 @@ let snapshot () =
         { Report.spans; counters; events; dropped = b.dropped })
     Report.empty buffers
 
+let times_from_env () =
+  match Sys.getenv_opt "MCX_TRACE_TIMES" with Some "0" -> false | _ -> true
+
 let install ?(out = stderr) ~trace () =
   enable ~events:true ();
   at_exit (fun () ->
       if !enabled_flag then begin
         let report = snapshot () in
         Json_out.write_file trace (Report.chrome_trace report);
-        let times =
-          match Sys.getenv_opt "MCX_TRACE_TIMES" with Some "0" -> false | _ -> true
-        in
+        let times = times_from_env () in
         Printf.fprintf out "[mcx] telemetry: chrome trace written to %s\n" trace;
         output_string out (Texttable.render (Report.summary_table ~times report));
         flush out

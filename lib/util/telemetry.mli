@@ -106,9 +106,16 @@ module Report : sig
   (** Keyed, order-independent: [merge a b] and [merge b a] render the
       same summary. *)
 
+  val percentile_of_buckets : int array -> calls:int -> p:float -> int64
+  (** Upper edge of the histogram bucket holding the [p]-quantile
+      ([0 < p <= 1]) of [calls] observations spread over [buckets]
+      ({!bucket_of_ns} geometry) — an overestimate by at most 2x. 0 when
+      [calls = 0]. The one bucket-percentile estimator in the repo: the
+      serving layer and [memx report] both call it rather than keeping
+      private copies. *)
+
   val percentile_ns : span_stat -> p:float -> int64
-  (** Upper edge of the histogram bucket holding the [p]-quantile call
-      ([0 < p <= 1]) — an overestimate by at most 2x. 0 when no calls. *)
+  (** {!percentile_of_buckets} over a span aggregate's own buckets. *)
 
   val summary_table : ?times:bool -> t -> Texttable.t
   (** Per-phase summary: one row per span (calls, and with
@@ -134,6 +141,11 @@ val install : ?out:out_channel -> trace:string -> unit -> unit
     trace to [trace] and prints the summary table to [out] (default
     stderr, so stdout stays byte-comparable). Honors [MCX_TRACE_TIMES=0]
     for the summary. *)
+
+val times_from_env : unit -> bool
+(** [false] iff [MCX_TRACE_TIMES=0]: the process-wide "render only the
+    deterministic projection" switch shared by the telemetry summary,
+    the {!Metrics} exporters and the serving access log. *)
 
 val install_from_env : unit -> unit
 (** [install] from [MCX_TRACE] when set and non-empty; otherwise do

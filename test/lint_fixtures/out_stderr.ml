@@ -1,0 +1,9 @@
+(* output-stderr-print: expected at lines 3 and 5. *)
+
+let warn () = prerr_endline "something happened"
+
+let grumble x = Printf.eprintf "trial %d failed\n" x
+
+let fine ppf = Format.fprintf ppf "an explicit formatter is not stderr"
+
+let suppressed () = (prerr_newline () [@mcx.lint.allow "output-stderr-print"])

@@ -76,6 +76,10 @@ let test_domain_toplevel_state () =
 let test_output_print () =
   check_fixture "out_print.ml" [ (3, "output-print"); (5, "output-print") ]
 
+let test_output_stderr_print () =
+  check_fixture "out_stderr.ml"
+    [ (3, "output-stderr-print"); (5, "output-stderr-print") ]
+
 let test_output_float_json () =
   check_fixture "out_float_json.ml" [ (3, "output-float-json") ]
 
@@ -123,7 +127,7 @@ let test_allow_file_suppresses_fixtures () =
 
 let test_rule_registry () =
   let ids = Lint.Rules.ids in
-  Alcotest.(check int) "11 rules" 11 (List.length ids);
+  Alcotest.(check int) "12 rules" 12 (List.length ids);
   Alcotest.(check int) "ids unique" (List.length ids)
     (List.length (List.sort_uniq String.compare ids));
   List.iter (fun id -> Alcotest.(check bool) id true (Lint.Rules.mem id)) ids;
@@ -146,7 +150,21 @@ let test_rule_scoping () =
   Alcotest.(check bool) "wallclock ok in timing" false
     (applies "determinism-wallclock" "lib/util/timing.ml");
   Alcotest.(check bool) "toplevel state ok in telemetry" false
-    (applies "domain-toplevel-state" "lib/util/telemetry.ml")
+    (applies "domain-toplevel-state" "lib/util/telemetry.ml");
+  Alcotest.(check bool) "toplevel state ok in metrics" false
+    (applies "domain-toplevel-state" "lib/util/metrics.ml");
+  Alcotest.(check bool) "stderr banned in service" true
+    (applies "output-stderr-print" "lib/service/serve.ml");
+  Alcotest.(check bool) "stderr banned in util" true
+    (applies "output-stderr-print" "lib/util/lru.ml");
+  Alcotest.(check bool) "stderr ok in checkpoint" false
+    (applies "output-stderr-print" "lib/util/checkpoint.ml");
+  Alcotest.(check bool) "stderr ok in telemetry" false
+    (applies "output-stderr-print" "lib/util/telemetry.ml");
+  Alcotest.(check bool) "stderr ok outside instrumented layers" false
+    (applies "output-stderr-print" "lib/logic/cube.ml");
+  Alcotest.(check bool) "stderr banned in fixtures" true
+    (applies "output-stderr-print" "test/lint_fixtures/out_stderr.ml")
 
 let test_only_filter () =
   let config =
@@ -215,6 +233,7 @@ let () =
           Alcotest.test_case "float-sort-poly-compare" `Quick test_float_sort_poly_compare;
           Alcotest.test_case "domain-toplevel-state" `Quick test_domain_toplevel_state;
           Alcotest.test_case "output-print" `Quick test_output_print;
+          Alcotest.test_case "output-stderr-print" `Quick test_output_stderr_print;
           Alcotest.test_case "output-float-json" `Quick test_output_float_json;
           Alcotest.test_case "hygiene-obj-magic" `Quick test_hygiene_obj_magic;
           Alcotest.test_case "hygiene-catchall" `Quick test_hygiene_catchall;

@@ -335,6 +335,190 @@ let test_golden_replay () =
       golden_responses
   end
 
+(* --- access log ------------------------------------------------------- *)
+
+let serve_with_access ?(jobs = 2) lines =
+  let acc = ref [] in
+  let t =
+    Serve.create ~pool:(Pool.create ~jobs ())
+      ~on_access:(fun r -> acc := r :: !acc)
+      ()
+  in
+  let responses, _ = Serve.serve_batch t ~label:"access" lines in
+  (responses, List.rev !acc)
+
+let digest_of_line l =
+  match Json_out.of_string l with
+  | Ok json -> Option.bind (Json_out.member "digest" json) Json_out.to_string_opt
+  | Error _ -> None
+
+let test_access_log_replay () =
+  let lines = read_request_lines golden_requests in
+  let responses, records = serve_with_access lines in
+  Alcotest.(check int) "one record per request" (List.length lines)
+    (List.length records);
+  List.iteri
+    (fun i (r : Access_log.record) ->
+      Alcotest.(check int) "records arrive in index order" i r.Access_log.index)
+    records;
+  Alcotest.(check (list string)) "cache outcomes"
+    [ "miss"; "coalesced"; "miss"; "miss"; "miss"; "miss"; "none"; "none" ]
+    (List.map
+       (fun (r : Access_log.record) -> Access_log.cache_outcome_to_string r.Access_log.cache)
+       records);
+  List.iter2
+    (fun resp (r : Access_log.record) ->
+      Alcotest.(check string) "status matches the response" (status_of_line resp)
+        r.Access_log.status;
+      Alcotest.(check (option string)) "digest matches the response"
+        (digest_of_line resp) r.Access_log.digest;
+      Alcotest.(check int) "bytes = rendered length" (String.length resp)
+        r.Access_log.bytes)
+    responses records;
+  (* The deterministic projection of the first record is fully pinned by
+     the golden stream — this doubles as the field-order assertion. *)
+  let first = List.hd records in
+  Alcotest.(check string) "fixed field order"
+    (Printf.sprintf
+       {|{"schema":"mcx-access/1","index":0,"id":"inline-pristine","source":"pla","digest":"%s","cache":"miss","status":"ok","bytes":%d}|}
+       (Option.get first.Access_log.digest)
+       (String.length (List.hd responses)))
+    (Access_log.to_line ~times:false first);
+  (* to_line/of_line is a round trip, durations included. *)
+  List.iter
+    (fun (r : Access_log.record) ->
+      match Access_log.of_line (Access_log.to_line ~times:true r) with
+      | Ok r2 -> Alcotest.(check bool) "round trip" true (r = r2)
+      | Error e -> Alcotest.failf "re-parse failed: %s" e)
+    records;
+  (* has_times distinguishes the two projections. *)
+  Alcotest.(check bool) "timed record has times" true
+    (Access_log.has_times (Access_log.to_json ~times:true first));
+  Alcotest.(check bool) "projected record has none" false
+    (Access_log.has_times (Access_log.to_json ~times:false first))
+
+let test_access_jobs_identity () =
+  let lines = read_request_lines golden_requests in
+  let project records =
+    List.map (Access_log.to_line ~times:false) records
+  in
+  let _, r1 = serve_with_access ~jobs:1 lines in
+  let _, r4 = serve_with_access ~jobs:4 lines in
+  Alcotest.(check (list string)) "deterministic projection agrees across jobs"
+    (project r1) (project r4)
+
+(* --- memx report ------------------------------------------------------- *)
+
+let timed_record ~index ~compute_ns ~render_ns =
+  {
+    Access_log.index;
+    id = Printf.sprintf "r%d" index;
+    source = "pla";
+    digest = Some "d";
+    cache = Access_log.Miss;
+    status = "ok";
+    bytes = 100;
+    parse_ns = 1_000L;
+    resolve_ns = 2_000L;
+    compute_ns;
+    render_ns;
+  }
+
+let timed_summary ~source ~compute_ns ~render_ns =
+  Report.summarize ~source
+    (List.init 10 (fun i -> timed_record ~index:i ~compute_ns ~render_ns))
+    ~has_times:true
+
+let test_report_summarize () =
+  let lines = read_request_lines golden_requests in
+  let responses, records = serve_with_access lines in
+  let s = Report.summarize ~source:"replay" records ~has_times:false in
+  Alcotest.(check int) "records" (List.length lines) s.Report.records;
+  Alcotest.(check (list (pair string int))) "cache breakdown"
+    [ ("coalesced", 1); ("miss", 5); ("none", 2) ]
+    s.Report.by_cache;
+  Alcotest.(check int) "bytes total"
+    (List.fold_left (fun n l -> n + String.length l) 0 responses)
+    s.Report.bytes_total;
+  Alcotest.(check int) "error count in by_status" 2
+    (Option.value ~default:0 (List.assoc_opt "error" s.Report.by_status));
+  Alcotest.(check int) "untimed summary renders one table" 1
+    (List.length (Report.access_tables s));
+  let timed = timed_summary ~source:"t" ~compute_ns:10_000_000L ~render_ns:500L in
+  Alcotest.(check int) "timed summary adds the latency table" 2
+    (List.length (Report.access_tables timed));
+  let compute =
+    List.find (fun (st : Report.stage_stat) -> st.Report.stage = "compute")
+      timed.Report.stages
+  in
+  Alcotest.(check int64) "stage total" 100_000_000L compute.Report.total_ns;
+  Alcotest.(check int64) "stage mean" 10_000_000L compute.Report.mean_ns
+
+let test_report_diff () =
+  let old_timed = timed_summary ~source:"old" ~compute_ns:10_000_000L ~render_ns:500L in
+  Alcotest.(check int) "identical runs produce no findings" 0
+    (List.length (Report.diff old_timed old_timed));
+  (* 10x slower compute (total 1s, far above the noise floor) regresses;
+     render also grew 10x but stays under min_total_ns and is ignored. *)
+  let new_timed =
+    timed_summary ~source:"new" ~compute_ns:100_000_000L ~render_ns:5_000L
+  in
+  (match Report.diff old_timed new_timed with
+  | [ f ] ->
+    Alcotest.(check bool) "regression severity" true (f.Report.severity = `Regression);
+    Alcotest.(check bool) "names the compute stage" true
+      (let what = f.Report.what in
+       let n = String.length "compute" in
+       let rec go i =
+         i + n <= String.length what && (String.sub what i n = "compute" || go (i + 1))
+       in
+       go 0)
+  | fs -> Alcotest.failf "expected exactly one regression, got %d findings" (List.length fs));
+  Alcotest.(check int) "a looser threshold accepts the 10x" 0
+    (List.length (Report.diff ~threshold:20.0 old_timed new_timed));
+  (* Deterministic-field drift is a mismatch regardless of timing. *)
+  let lines = read_request_lines golden_requests in
+  let _, records = serve_with_access lines in
+  let full = Report.summarize ~source:"full" records ~has_times:false in
+  let truncated =
+    Report.summarize ~source:"cut"
+      (List.filteri (fun i _ -> i < 5) records)
+      ~has_times:false
+  in
+  let findings = Report.diff full truncated in
+  Alcotest.(check bool) "count drift is a mismatch" true
+    (List.exists (fun (f : Report.finding) -> f.Report.severity = `Mismatch) findings);
+  Alcotest.(check bool) "no latency findings without timing" true
+    (List.for_all (fun (f : Report.finding) -> f.Report.severity = `Mismatch) findings)
+
+let test_report_load_access () =
+  let lines = read_request_lines golden_requests in
+  let _, records = serve_with_access lines in
+  let path = Filename.temp_file "mcx_access" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path
+        (String.concat ""
+           (List.map (fun r -> Access_log.to_line ~times:true r ^ "\n") records)
+        ^ "\n");
+      (match Report.load_access path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok s ->
+        Alcotest.(check int) "all records loaded" (List.length records) s.Report.records;
+        Alcotest.(check bool) "timing detected" true s.Report.has_times);
+      write_file path
+        (Access_log.to_line ~times:true (List.hd records) ^ "\nnot json\n");
+      match Report.load_access path with
+      | Ok _ -> Alcotest.fail "expected a load error"
+      | Error e ->
+        let contains needle =
+          let n = String.length needle and h = String.length e in
+          let rec go i = i + n <= h && (String.sub e i n = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "error cites the line number" true (contains ":2:"))
+
 let () =
   match Sys.getenv_opt "MCX_GOLDEN_REGEN" with
   | Some dir ->
@@ -374,4 +558,16 @@ let () =
             Alcotest.test_case "stats document" `Quick test_stats_json_shape;
           ] );
         ("golden", [ Alcotest.test_case "request replay" `Quick test_golden_replay ]);
+        ( "access",
+          [
+            Alcotest.test_case "structured replay" `Quick test_access_log_replay;
+            Alcotest.test_case "jobs 1 = jobs 4 projection" `Quick
+              test_access_jobs_identity;
+          ] );
+        ( "report",
+          [
+            Alcotest.test_case "summarize" `Quick test_report_summarize;
+            Alcotest.test_case "diff" `Quick test_report_diff;
+            Alcotest.test_case "load access log" `Quick test_report_load_access;
+          ] );
       ]

@@ -174,7 +174,7 @@ let test_percentiles () =
   let empty = stat_with_buckets [] in
   Alcotest.(check int64) "no calls" 0L (Telemetry.Report.percentile_ns empty ~p:0.5);
   Alcotest.check_raises "p out of range"
-    (Invalid_argument "Telemetry.Report.percentile_ns") (fun () ->
+    (Invalid_argument "Telemetry.Report.percentile_of_buckets") (fun () ->
       ignore (Telemetry.Report.percentile_ns stat ~p:0.))
 
 (* --- spans and counters --------------------------------------------- *)
