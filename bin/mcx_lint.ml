@@ -2,46 +2,63 @@
    domain-safety and packed-type invariants. See lib/lint/ for the rules
    and README "Static analysis" for the contract.
 
-   Exit codes: 0 clean, 1 findings, 2 usage/internal error. *)
+   Exit codes: 0 clean, 1 findings (or stale allows under
+   --check-allows), 2 usage/internal error. *)
 
 let usage =
-  "mcx-lint [--list-rules] [--only RULE[,RULE...]] [--format text|json] [--out FILE]\n\
-  \        [--root DIR] [--no-typed] [--allow-file FILE|none]\n\n\
+  "mcx-lint [--list-rules] [--explain RULE] [--only RULE[,RULE...]]\n\
+  \        [--format text|json|sarif] [--out FILE] [--root DIR] [--no-typed]\n\
+  \        [--allow-file FILE|none] [--cache] [--check-allows]\n\n\
    Lints lib/ bin/ bench/ test/ under the repo root (nearest dune-project).\n\
-   Typed rules need .cmt files: run `dune build @all` first.\n"
+   Typed and interprocedural rules need .cmt files: run `dune build @all` first.\n"
+
+let kind_tag = function
+  | Mcx_lint.Rules.Source -> "[source]"
+  | Mcx_lint.Rules.Typed -> "[typed] "
+  | Mcx_lint.Rules.Interproc -> "[interp]"
 
 let list_rules () =
   List.iter
     (fun (r : Mcx_lint.Rules.t) ->
-      Printf.printf "%-24s %s  %s\n" r.id
-        (match r.kind with Mcx_lint.Rules.Source -> "[source]" | Typed -> "[typed] ")
-        r.synopsis)
+      Printf.printf "%-24s %s  %s\n" r.id (kind_tag r.kind) r.synopsis)
     Mcx_lint.Rules.all
 
 let () =
   let list = ref false in
+  let explain = ref "" in
   let only = ref [] in
   let format = ref "text" in
   let out = ref "" in
   let root = ref "" in
   let typed = ref true in
   let allow_file = ref "lint.allow" in
+  let use_cache = ref false in
+  let check_allows = ref false in
   let spec =
     [
       ("--list-rules", Arg.Set list, " list rule ids and synopses, then exit");
+      ( "--explain",
+        Arg.Set_string explain,
+        "RULE run only RULE and print each finding's shortest source\xe2\x86\x92sink call chain" );
       ( "--only",
         Arg.String
           (fun s -> only := !only @ List.filter (( <> ) "") (String.split_on_char ',' s)),
         "RULES restrict to a comma-separated list of rule ids" );
       ( "--format",
-        Arg.Symbol ([ "text"; "json" ], fun s -> format := s),
+        Arg.Symbol ([ "text"; "json"; "sarif" ], fun s -> format := s),
         " report format (default text)" );
       ("--out", Arg.Set_string out, "FILE also write the report to FILE");
       ("--root", Arg.Set_string root, "DIR repo root (default: walk up to dune-project)");
-      ("--no-typed", Arg.Clear typed, " skip .cmt-based typed rules");
+      ("--no-typed", Arg.Clear typed, " skip .cmt-based typed and interprocedural rules");
       ( "--allow-file",
         Arg.Set_string allow_file,
         "FILE allowlist path relative to the root (default lint.allow; 'none' disables)" );
+      ( "--cache",
+        Arg.Set use_cache,
+        " persist per-module analysis in _build/mcx-lint-cache.json keyed by .cmt digests" );
+      ( "--check-allows",
+        Arg.Set check_allows,
+        " exit nonzero when an allow span or lint.allow entry suppresses nothing" );
     ]
   in
   let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("mcx-lint: " ^ m); exit 2) fmt in
@@ -57,6 +74,10 @@ let () =
     list_rules ();
     exit 0
   end;
+  if !explain <> "" then begin
+    if not (Mcx_lint.Rules.mem !explain) then fail "unknown rule %S" !explain;
+    only := [ !explain ]
+  end;
   let root =
     if !root <> "" then !root
     else
@@ -70,20 +91,43 @@ let () =
       only = !only;
       with_typed = !typed;
       allow_file = (if !allow_file = "none" then None else Some !allow_file);
+      cache_file = (if !use_cache then Some Mcx_lint.Driver.default_cache_file else None);
     }
   in
   match Mcx_lint.Driver.run config with
   | exception Invalid_argument msg -> fail "%s" msg
   | result ->
+    (if !explain <> "" then begin
+       let r = List.find (fun (r : Mcx_lint.Rules.t) -> r.id = !explain) Mcx_lint.Rules.all in
+       Printf.printf "%s %s\n  %s\n\n" r.id (kind_tag r.kind) r.synopsis;
+       match result.findings with
+       | [] -> print_string "no findings.\n"
+       | fs ->
+         List.iter
+           (fun (f : Mcx_lint.Finding.t) ->
+             print_string (Mcx_lint.Finding.to_string f);
+             print_newline ())
+           fs
+     end);
     let report =
       match !format with
       | "json" -> Mcx_lint.Driver.report_json result ^ "\n"
+      | "sarif" -> Mcx_lint.Driver.report_sarif result ^ "\n"
       | _ -> Mcx_lint.Driver.report_text result
     in
-    print_string report;
+    if !explain = "" then print_string report;
     if !out <> "" then begin
       let oc = open_out !out in
       output_string oc report;
       close_out oc
+    end;
+    let stale = result.stale_allows in
+    if !check_allows && stale <> [] then begin
+      List.iter
+        (fun (s : Mcx_lint.Driver.stale_allow) ->
+          Printf.eprintf "mcx-lint: stale allow at %s:%d (rule %s): suppresses nothing\n"
+            s.sa_file s.sa_line s.sa_rule)
+        stale;
+      exit 1
     end;
     if result.findings = [] then exit 0 else exit 1

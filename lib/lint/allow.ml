@@ -17,6 +17,9 @@ type span = {
   start_col : int;
   end_line : int;
   end_col : int;
+  mutable used : bool;
+      (* consulted-and-matched at least once this run: it suppressed a
+         finding or served as a propagation barrier ([--check-allows]) *)
 }
 
 (* --- attribute spans ------------------------------------------------- *)
@@ -48,10 +51,12 @@ let spans_of_attrs (attrs : Parsetree.attributes) (loc : Location.t) =
             start_col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
             end_line = loc.loc_end.pos_lnum;
             end_col = loc.loc_end.pos_cnum - loc.loc_end.pos_bol;
+            used = false;
           })
     attrs
 
-let whole_file_span rule = { rule; start_line = 0; start_col = 0; end_line = max_int; end_col = max_int }
+let whole_file_span rule =
+  { rule; start_line = 0; start_col = 0; end_line = max_int; end_col = max_int; used = false }
 
 (* Collect every allow-span in a structure: expression and binding
    attributes plus floating [@@@...] ones. *)
@@ -109,16 +114,34 @@ let span_suppresses span ~rule ~line ~col =
   && pos_leq (span.start_line, span.start_col) (line, col)
   && pos_leq (line, col) (span.end_line, span.end_col)
 
+(* Mark every matching span used (no short-circuit): [--check-allows]
+   must not call redundant-but-matching annotations stale. *)
+let allows spans ~rule ~line ~col =
+  List.fold_left
+    (fun acc s ->
+      if span_suppresses s ~rule ~line ~col then begin
+        s.used <- true;
+        true
+      end
+      else acc)
+    false spans
+
 let suppressed spans (f : Finding.t) =
-  List.exists (fun s -> span_suppresses s ~rule:f.Finding.rule ~line:f.Finding.line ~col:f.Finding.col) spans
+  allows spans ~rule:f.Finding.rule ~line:f.Finding.line ~col:f.Finding.col
 
 (* --- lint.allow file ------------------------------------------------- *)
 
-type file_entry = { prefix : string; allow_rule : string (* "*" = all *) }
+type file_entry = {
+  prefix : string;
+  allow_rule : string; (* "*" = all *)
+  entry_line : int; (* 1-based line in lint.allow, for stale reporting *)
+  mutable entry_used : bool;
+}
 
 let parse_allow_file_contents contents =
   String.split_on_char '\n' contents
-  |> List.filter_map (fun line ->
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (lineno, line) ->
          let line =
            match String.index_opt line '#' with
            | Some i -> String.sub line 0 i
@@ -128,11 +151,18 @@ let parse_allow_file_contents contents =
          if line = "" then None
          else
            match String.index_opt line ' ' with
-           | None -> Some { prefix = line; allow_rule = "*" }
+           | None ->
+             Some { prefix = line; allow_rule = "*"; entry_line = lineno; entry_used = false }
            | Some i ->
              let prefix = String.sub line 0 i in
              let rule = String.trim (String.sub line i (String.length line - i)) in
-             Some { prefix; allow_rule = (if rule = "" then "*" else rule) })
+             Some
+               {
+                 prefix;
+                 allow_rule = (if rule = "" then "*" else rule);
+                 entry_line = lineno;
+                 entry_used = false;
+               })
 
 let load_allow_file path =
   if not (Sys.file_exists path) then []
@@ -148,4 +178,12 @@ let file_entry_matches e (f : Finding.t) =
   Rules.starts_with ~prefix:e.prefix f.Finding.file
   && (e.allow_rule = "*" || e.allow_rule = f.Finding.rule)
 
-let allowed_by_file entries f = List.exists (fun e -> file_entry_matches e f) entries
+let allowed_by_file entries f =
+  List.fold_left
+    (fun acc e ->
+      if file_entry_matches e f then begin
+        e.entry_used <- true;
+        true
+      end
+      else acc)
+    false entries

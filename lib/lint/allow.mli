@@ -1,5 +1,10 @@
 (** Finding suppression: [@mcx.lint.allow "rule-id"] attributes collected
-    as source spans, and the repo-root [lint.allow] path allowlist. *)
+    as source spans, and the repo-root [lint.allow] path allowlist.
+
+    Both mechanisms track {e usage}: a span or file entry that matched at
+    least once — suppressing a finding, or consulted as a propagation
+    barrier by the interprocedural rules — is marked used. [--check-allows]
+    reports the rest as stale. *)
 
 type span = {
   rule : string option;  (** [None] allows every rule *)
@@ -7,15 +12,25 @@ type span = {
   start_col : int;
   end_line : int;
   end_col : int;
+  mutable used : bool;
 }
 
 val spans_of_structure : Parsetree.structure -> span list
 val spans_of_signature : Parsetree.signature -> span list
 
-val suppressed : span list -> Finding.t -> bool
-(** Is the finding inside an allow-span naming its rule (or naming none)? *)
+val allows : span list -> rule:string -> line:int -> col:int -> bool
+(** Does any span cover this rule at this position? Marks {e every}
+    matching span used (redundant annotations are not reported stale). *)
 
-type file_entry = { prefix : string; allow_rule : string  (** ["*"] = all *) }
+val suppressed : span list -> Finding.t -> bool
+(** [allows] at the finding's rule and position. *)
+
+type file_entry = {
+  prefix : string;
+  allow_rule : string;  (** ["*"] = all *)
+  entry_line : int;  (** 1-based line in [lint.allow] *)
+  mutable entry_used : bool;
+}
 
 val parse_allow_file_contents : string -> file_entry list
 (** One entry per line: [<path-prefix> <rule-id|*>]; [#] starts a comment. *)
@@ -24,3 +39,4 @@ val load_allow_file : string -> file_entry list
 (** [] when the file does not exist. *)
 
 val allowed_by_file : file_entry list -> Finding.t -> bool
+(** Marks every matching entry used. *)

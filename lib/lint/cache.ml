@@ -1,0 +1,128 @@
+module J = Mcx_util.Json_out
+
+type entry = {
+  digest : string;
+  summary : Callgraph.summary;
+  findings : Finding.t list;
+}
+
+type t = (string, entry) Hashtbl.t
+
+let schema_version = 1
+let empty () : t = Hashtbl.create 64
+
+(* --- finding codec (the reverse of Finding.to_json) ------------------- *)
+
+let ( let* ) = Option.bind
+
+let str k j = let* v = J.member k j in J.to_string_opt v
+let int k j = let* v = J.member k j in J.to_int_opt v
+
+let step_of_json j : Finding.step option =
+  let* name = str "name" j in
+  let* file = str "file" j in
+  let* line = int "line" j in
+  let* col = int "col" j in
+  Some { Finding.name; file; line; col }
+
+let rec all_some = function
+  | [] -> Some []
+  | None :: _ -> None
+  | Some x :: rest -> let* xs = all_some rest in Some (x :: xs)
+
+let finding_of_json j : Finding.t option =
+  let* file = str "file" j in
+  let* line = int "line" j in
+  let* col = int "col" j in
+  let* rule = str "rule" j in
+  let* message = str "message" j in
+  let* chain =
+    match J.member "chain" j with
+    | None -> Some []
+    | Some c -> let* items = J.to_list_opt c in all_some (List.map step_of_json items)
+  in
+  Some { Finding.file; line; col; rule; message; chain }
+
+(* --- document codec ---------------------------------------------------- *)
+
+let entry_to_json path (e : entry) =
+  J.Obj
+    [
+      ("path", J.Str path);
+      ("digest", J.Str e.digest);
+      ("summary", Callgraph.summary_to_json e.summary);
+      ("findings", J.List (List.map Finding.to_json e.findings));
+    ]
+
+let entry_of_json j =
+  let* path = str "path" j in
+  let* digest = str "digest" j in
+  let* sj = J.member "summary" j in
+  let* summary = Callgraph.summary_of_json sj in
+  let* fj = J.member "findings" j in
+  let* items = J.to_list_opt fj in
+  let* findings = all_some (List.map finding_of_json items) in
+  Some (path, { digest; summary; findings })
+
+let to_json (t : t) =
+  let entries =
+    Hashtbl.fold (fun path e acc -> (path, e) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  J.Obj
+    [
+      ("schema", J.Str "mcx-lint-cache");
+      ("version", J.Int schema_version);
+      ("entries", J.List (List.map (fun (p, e) -> entry_to_json p e) entries));
+    ]
+
+let load path : t =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception _ -> empty ()
+  | contents -> (
+    match J.of_string contents with
+    | Error _ -> empty ()
+    | Ok j ->
+      let ok_schema =
+        (let* s = str "schema" j in Some (s = "mcx-lint-cache")) = Some true
+        && int "version" j = Some schema_version
+      in
+      if not ok_schema then empty ()
+      else begin
+        let t = empty () in
+        (match let* e = J.member "entries" j in J.to_list_opt e with
+        | None -> ()
+        | Some entries ->
+          List.iter
+            (fun ej ->
+              match entry_of_json ej with
+              | Some (p, e) -> Hashtbl.replace t p e
+              | None -> ())
+            entries);
+        t
+      end)
+
+(* Best-effort persistence: the cache is a pure accelerator, so a failed
+   write (read-only _build, a racing dune) must never fail the lint run
+   — hence the blessed catch-alls. *)
+let save path (t : t) =
+  (try
+     let dir = Filename.dirname path in
+     (if not (Sys.file_exists dir) then
+        (try Sys.mkdir dir 0o755 with _ -> ()) [@mcx.lint.allow "hygiene-catchall"]);
+     J.write_file path (to_json t)
+   with _ -> ())
+  [@mcx.lint.allow "hygiene-catchall"]
+
+let find (t : t) ~path ~digest =
+  match Hashtbl.find_opt t path with
+  | Some e when e.digest = digest -> Some e
+  | _ -> None
+
+let add (t : t) ~path entry = Hashtbl.replace t path entry
+
+(* --- process-wide memo ------------------------------------------------- *)
+
+let memo : t = empty ()
+let memo_find ~path ~digest = find memo ~path ~digest
+let memo_add ~path entry = add memo ~path entry

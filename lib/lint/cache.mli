@@ -1,0 +1,45 @@
+(** Incremental analysis cache.
+
+    Per-module call-graph summaries (and the typed per-module findings)
+    are keyed by the MD5 digest of the .cmt file they were extracted
+    from. A warm run re-analyzes only modules whose .cmt digest changed;
+    everything else is replayed from the cache, byte-identically, without
+    touching [Cmt_format.read_cmt].
+
+    Entries live in a single JSON document (default
+    [_build/mcx-lint-cache.json]). Unknown or malformed documents are
+    ignored — the cache is a pure accelerator, never a source of truth. A
+    process-wide in-memory memo layers on top so repeated {!Driver.run}
+    calls in one process (the test suite) stay fast even without a disk
+    cache. *)
+
+type entry = {
+  digest : string;  (** [Digest.to_hex] of the .cmt file. *)
+  summary : Callgraph.summary;
+  findings : Finding.t list;  (** Typed (per-module) findings. *)
+}
+
+type t
+(** A mutable cache instance: entries keyed by repo-relative .cmt path. *)
+
+val schema_version : int
+
+val empty : unit -> t
+
+val load : string -> t
+(** Read a cache file; missing/corrupt/old-schema files yield {!empty}. *)
+
+val save : string -> t -> unit
+(** Persist (creates parent directories as needed). Best-effort: write
+    failures are silent — see module comment. *)
+
+val find : t -> path:string -> digest:string -> entry option
+(** Digest mismatch counts as a miss (and the stale entry is dropped on
+    the next {!save} via {!add}). *)
+
+val add : t -> path:string -> entry -> unit
+
+val memo_find : path:string -> digest:string -> entry option
+(** Process-wide in-memory layer (independent of any [t]). *)
+
+val memo_add : path:string -> entry -> unit

@@ -1,20 +1,31 @@
 (* Orchestration: walk the scanned trees, parse every .ml/.mli (source
    rules + suppression spans), pair compiled modules with their .cmt
-   (typed rules), then filter findings through the attribute spans, the
-   [lint.allow] file and [--only]. *)
+   (typed rules + call-graph extraction, through the incremental cache),
+   run the interprocedural effect rules over the whole-program graph,
+   then filter findings through the attribute spans, the [lint.allow]
+   file and [--only]. *)
 
 type config = {
   root : string;  (** absolute repo root *)
   paths : string list;  (** repo-relative files/dirs to scan *)
   only : string list;  (** restrict to these rule ids; [] = all *)
   allow_file : string option;  (** repo-relative allowlist, e.g. [Some "lint.allow"] *)
-  with_typed : bool;  (** read .cmt files and run typed rules *)
+  with_typed : bool;  (** read .cmt files and run typed + interproc rules *)
+  cache_file : string option;  (** repo-relative incremental-cache path *)
 }
 
 let default_paths = [ "lib"; "bin"; "bench"; "test" ]
+let default_cache_file = "_build/mcx-lint-cache.json"
 
 let default_config ~root =
-  { root; paths = default_paths; only = []; allow_file = Some "lint.allow"; with_typed = true }
+  {
+    root;
+    paths = default_paths;
+    only = [];
+    allow_file = Some "lint.allow";
+    with_typed = true;
+    cache_file = None;
+  }
 
 let find_root () =
   let rec up dir =
@@ -81,13 +92,9 @@ let parse_file config rel =
         { rel; spans = Allow.spans_of_structure str; source_findings = Source_lint.run ~file:rel str })
 
 let parse_error_finding rel (loc : Location.t) =
-  {
-    Finding.file = rel;
-    line = loc.loc_start.pos_lnum;
-    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
-    rule = "parse-error";
-    message = "file does not parse; fix it before linting";
-  }
+  Finding.make ~file:rel ~line:loc.loc_start.pos_lnum
+    ~col:(loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+    ~rule:"parse-error" ~message:"file does not parse; fix it before linting"
 
 (* --- cmt discovery --------------------------------------------------- *)
 
@@ -120,39 +127,131 @@ let normalize_rel p =
     String.sub p 2 (String.length p - 2)
   else p
 
-(* Run typed rules over every cmt whose recorded source file is one of the
-   scanned sources; each source is linted through at most one cmt. *)
-let typed_findings config sources =
-  let source_set = Hashtbl.create 64 in
-  List.iter (fun rel -> Hashtbl.replace source_set rel ()) sources;
-  let done_set = Hashtbl.create 64 in
-  let covered = ref 0 in
-  let findings =
-    List.concat_map
-      (fun cmt_path ->
-        match Cmt_format.read_cmt cmt_path with
-        | exception _ -> []
-        | cmt -> (
-          match (cmt.cmt_sourcefile, cmt.cmt_annots) with
-          | Some src, Implementation str ->
-            let rel = normalize_rel src in
-            if Hashtbl.mem source_set rel && not (Hashtbl.mem done_set rel) then begin
-              Hashtbl.add done_set rel ();
-              incr covered;
-              Typed_lint.run ~file:rel ~modname:cmt.cmt_modname str
-            end
-            else []
-          | _ -> []))
-      (cmt_paths config.root)
+(* Cache keys are root-relative so a cache written by `mcx-lint` from the
+   repo root is valid regardless of the process cwd. *)
+let cache_key root path =
+  let prefix = root ^ "/" in
+  if Rules.starts_with ~prefix path then
+    String.sub path (String.length prefix) (String.length path - String.length prefix)
+  else path
+
+(* --- per-module analysis (through the cache) -------------------------- *)
+
+(* Analyze one .cmt: the call-graph summary plus the module's typed
+   findings (cached together so a warm run never calls read_cmt). *)
+let analyze_cmt cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | exception _ -> None
+  | cmt -> (
+    match (cmt.cmt_sourcefile, cmt.cmt_annots) with
+    | Some src, Implementation str ->
+      let rel = normalize_rel src in
+      let nodes = Callgraph.of_cmt ~file:rel ~modname:cmt.cmt_modname str in
+      let typed_findings = Typed_lint.run ~file:rel ~modname:cmt.cmt_modname str in
+      Some
+        {
+          Callgraph.modname = Callgraph.canonical cmt.cmt_modname;
+          src = rel;
+          nodes;
+          typed_findings;
+        }
+    | _ -> None)
+
+type cmt_pass = {
+  summaries : Callgraph.summary list;
+  cp_typed : Finding.t list;  (** deduped, scanned sources only *)
+  cp_files_typed : int;
+  cp_analyzed : int;  (** cmts actually read (cache misses) *)
+  cp_hits : int;
+}
+
+let empty_summary = { Callgraph.modname = ""; src = ""; nodes = []; typed_findings = [] }
+
+let cmt_pass config ~source_set =
+  let disk =
+    match config.cache_file with
+    | None -> Cache.empty ()
+    | Some rel -> Cache.load (Filename.concat config.root rel)
   in
-  (findings, !covered)
+  (* Rebuilt from scratch each run so entries for deleted modules are
+     pruned on save. *)
+  let fresh = Cache.empty () in
+  let analyzed = ref 0 and hits = ref 0 in
+  let summaries = ref [] in
+  List.iter
+    (fun cmt_path ->
+      match Digest.file cmt_path with
+      | exception _ -> ()
+      | d ->
+        let digest = Digest.to_hex d in
+        let key = cache_key config.root cmt_path in
+        let entry =
+          match Cache.memo_find ~path:key ~digest with
+          | Some e ->
+            incr hits;
+            e
+          | None -> (
+            match Cache.find disk ~path:key ~digest with
+            | Some e ->
+              incr hits;
+              Cache.memo_add ~path:key e;
+              e
+            | None ->
+              incr analyzed;
+              let summary =
+                match analyze_cmt cmt_path with
+                | Some s -> s
+                | None -> empty_summary (* interface-only / unreadable: cache the miss *)
+              in
+              let e = { Cache.digest; summary; findings = summary.typed_findings } in
+              Cache.memo_add ~path:key e;
+              e)
+        in
+        Cache.add fresh ~path:key entry;
+        if entry.summary.modname <> "" then summaries := entry.summary :: !summaries)
+    (cmt_paths config.root);
+  (match config.cache_file with
+  | None -> ()
+  | Some rel -> Cache.save (Filename.concat config.root rel) fresh);
+  (* Each scanned source contributes typed findings through at most one
+     cmt (a source can be compiled into several build targets). *)
+  let done_set = Hashtbl.create 64 in
+  let typed = ref [] and files_typed = ref 0 in
+  List.iter
+    (fun (s : Callgraph.summary) ->
+      if Hashtbl.mem source_set s.src && not (Hashtbl.mem done_set s.src) then begin
+        Hashtbl.add done_set s.src ();
+        incr files_typed;
+        typed := s.typed_findings @ !typed
+      end)
+    (List.rev !summaries);
+  {
+    summaries = List.rev !summaries;
+    cp_typed = List.rev !typed;
+    cp_files_typed = !files_typed;
+    cp_analyzed = !analyzed;
+    cp_hits = !hits;
+  }
 
 (* --- top level ------------------------------------------------------- *)
+
+type stale_allow = {
+  sa_file : string;  (** source file, or the [lint.allow] path itself *)
+  sa_line : int;
+  sa_rule : string;  (** ["*"] for allow-everything entries *)
+}
 
 type result = {
   findings : Finding.t list;
   files_scanned : int;
   files_typed : int;  (** sources that had a matching .cmt *)
+  graph_modules : int;  (** compilation units in the whole-program graph *)
+  graph_nodes : int;
+  modules_analyzed : int;  (** cmts read this run (cache misses) *)
+  cache_hits : int;
+  stale_allows : stale_allow list;
+      (** allow spans/entries that suppressed nothing and served as no
+          barrier this run *)
 }
 
 let run config =
@@ -161,6 +260,8 @@ let run config =
       if not (Rules.mem id) then invalid_arg (Printf.sprintf "mcx-lint: unknown rule %S" id))
     config.only;
   let sources = scan_sources config in
+  let source_set = Hashtbl.create 64 in
+  List.iter (fun rel -> Hashtbl.replace source_set rel ()) sources;
   let spans_by_file = Hashtbl.create 64 in
   let source_findings = ref [] in
   List.iter
@@ -175,26 +276,91 @@ let run config =
       | exception Lexer.Error (_, loc) ->
         source_findings := parse_error_finding rel loc :: !source_findings)
     sources;
-  let typed, files_typed =
-    if config.with_typed then typed_findings config sources else ([], 0)
+  let pass =
+    if config.with_typed then cmt_pass config ~source_set
+    else
+      { summaries = []; cp_typed = []; cp_files_typed = 0; cp_analyzed = 0; cp_hits = 0 }
+  in
+  let graph = Callgraph.build pass.summaries in
+  (* Barrier / allow oracle for the interprocedural rules. Consulting a
+     span marks it used, so an annotation whose only job is to stop
+     effect propagation still counts for [--check-allows]. Files outside
+     the scan set have no parsed spans; their findings are dropped below
+     anyway. *)
+  let allowed ~rule ~file ~line ~col =
+    match Hashtbl.find_opt spans_by_file file with
+    | Some spans -> Allow.allows spans ~rule ~line ~col
+    | None -> false
+  in
+  let interproc =
+    if config.with_typed then
+      List.filter (fun (f : Finding.t) -> Hashtbl.mem source_set f.file) (Effects.run graph ~allowed)
+    else []
   in
   let allow_entries =
     match config.allow_file with
     | None -> []
     | Some rel -> Allow.load_allow_file (Filename.concat config.root rel)
   in
+  (* Evaluate both suppression mechanisms unconditionally (no &&
+     short-circuit): usage marking must see every mechanism that would
+     have matched, or [--check-allows] reports live annotations stale. *)
   let keep (f : Finding.t) =
+    let file_allowed = Allow.allowed_by_file allow_entries f in
+    let span_allowed =
+      match Hashtbl.find_opt spans_by_file f.Finding.file with
+      | Some spans -> Allow.suppressed spans f
+      | None -> false
+    in
     (config.only = [] || List.mem f.Finding.rule config.only)
-    && (not (Allow.allowed_by_file allow_entries f))
-    &&
-    match Hashtbl.find_opt spans_by_file f.Finding.file with
-    | Some spans -> not (Allow.suppressed spans f)
-    | None -> true
+    && (not file_allowed) && not span_allowed
   in
   let findings =
-    List.filter keep (!source_findings @ typed) |> List.sort_uniq Finding.compare
+    List.filter keep (!source_findings @ pass.cp_typed @ interproc)
+    |> List.sort_uniq Finding.compare
   in
-  { findings; files_scanned = List.length sources; files_typed }
+  let stale_allows =
+    let acc = ref [] in
+    List.iter
+      (fun (e : Allow.file_entry) ->
+        if not e.entry_used then
+          acc :=
+            {
+              sa_file = Option.value ~default:"lint.allow" config.allow_file;
+              sa_line = e.entry_line;
+              sa_rule = e.allow_rule;
+            }
+            :: !acc)
+      allow_entries;
+    List.iter
+      (fun rel ->
+        match Hashtbl.find_opt spans_by_file rel with
+        | None -> ()
+        | Some spans ->
+          List.iter
+            (fun (s : Allow.span) ->
+              if not s.used then
+                acc :=
+                  {
+                    sa_file = rel;
+                    sa_line = s.start_line;
+                    sa_rule = Option.value ~default:"*" s.rule;
+                  }
+                  :: !acc)
+            spans)
+      sources;
+    List.sort compare !acc
+  in
+  {
+    findings;
+    files_scanned = List.length sources;
+    files_typed = pass.cp_files_typed;
+    graph_modules = Callgraph.module_count graph;
+    graph_nodes = Callgraph.node_count graph;
+    modules_analyzed = pass.cp_analyzed;
+    cache_hits = pass.cp_hits;
+    stale_allows;
+  }
 
 (* --- reporting ------------------------------------------------------- *)
 
@@ -210,7 +376,18 @@ let report_text result =
        (List.length result.findings)
        (if List.length result.findings = 1 then "" else "s")
        result.files_scanned result.files_typed);
+  Buffer.add_string buf
+    (Printf.sprintf "call graph: %d modules, %d nodes; analyzed %d cmts (%d cache hits)\n"
+       result.graph_modules result.graph_nodes result.modules_analyzed result.cache_hits);
   Buffer.contents buf
+
+let stale_allow_to_json (s : stale_allow) =
+  Mcx_util.Json_out.Obj
+    [
+      ("file", Mcx_util.Json_out.Str s.sa_file);
+      ("line", Mcx_util.Json_out.Int s.sa_line);
+      ("rule", Mcx_util.Json_out.Str s.sa_rule);
+    ]
 
 let report_json result =
   Mcx_util.Json_out.to_string
@@ -219,6 +396,14 @@ let report_json result =
          ("schema", Mcx_util.Json_out.Str "mcx-lint/1");
          ("files_scanned", Mcx_util.Json_out.Int result.files_scanned);
          ("files_typed", Mcx_util.Json_out.Int result.files_typed);
+         ("graph_modules", Mcx_util.Json_out.Int result.graph_modules);
+         ("graph_nodes", Mcx_util.Json_out.Int result.graph_nodes);
+         ("modules_analyzed", Mcx_util.Json_out.Int result.modules_analyzed);
+         ("cache_hits", Mcx_util.Json_out.Int result.cache_hits);
          ("count", Mcx_util.Json_out.Int (List.length result.findings));
          ("findings", Mcx_util.Json_out.List (List.map Finding.to_json result.findings));
+         ( "stale_allows",
+           Mcx_util.Json_out.List (List.map stale_allow_to_json result.stale_allows) );
        ])
+
+let report_sarif result = Sarif.report result.findings

@@ -5,7 +5,7 @@
    exercised by a fixture; the real repo run suppresses that directory via
    [lint.allow]. *)
 
-type kind = Source | Typed
+type kind = Source | Typed | Interproc
 
 type t = { id : string; synopsis : string; kind : kind }
 
@@ -40,6 +40,8 @@ let prng_owners = [ "lib/util/prng.ml"; "lib/util/prng.mli" ]
 
 (* DLS-guarded modules exempt from the top-level mutable state rule. *)
 let dls_guarded = [ "lib/util/telemetry.ml"; "lib/util/prng.ml"; "lib/util/metrics.ml" ]
+
+let dls_guarded_file rel = is_one_of rel dls_guarded
 
 (* Designated rendering/report modules that may write to stdout. *)
 let render_owners = [ "lib/crossbar/render.ml"; "lib/util/texttable.ml" ]
@@ -142,6 +144,35 @@ let all : t list =
       synopsis = "use of a value marked [@@deprecated]";
       kind = Typed;
     };
+    {
+      id = "transitive-nondet";
+      synopsis =
+        "an experiment driver / Serve handler / Checkpoint replay entry can reach \
+         Random, a wall clock, an env read or Hashtbl.hash through its call graph \
+         without passing through Prng/Telemetry/Timing";
+      kind = Interproc;
+    };
+    {
+      id = "pool-closure-capture";
+      synopsis =
+        "a closure handed to Pool.map/map_reduce/map_isolated reaches top-level \
+         mutable state, which races across worker domains";
+      kind = Interproc;
+    };
+    {
+      id = "span-exception-unsafe";
+      synopsis =
+        "a Telemetry.begin_span scope can be escaped by an exception before \
+         end_span runs, leaking the open span";
+      kind = Interproc;
+    };
+    {
+      id = "replay-io-divergence";
+      synopsis =
+        "a trial function journaled by Checkpoint.map writes to stdout; replayed \
+         (resumed) sweeps skip the trial, so resumed output diverges";
+      kind = Interproc;
+    };
   ]
 
 let ids = List.map (fun r -> r.id) all
@@ -160,4 +191,10 @@ let applies rule rel =
   | "output-print" -> in_lib rel && not (is_one_of rel render_owners)
   | "output-stderr-print" -> in_instrumented rel && not (is_one_of rel stderr_owners)
   | "output-float-json" -> in_lib rel && not (is_one_of rel json_owners)
+  (* Interprocedural rules report at the root/closure/span site; whether a
+     chain is a violation is decided by the effect engine (barriers and
+     sanctioned modules), not by per-file scoping. *)
+  | "transitive-nondet" | "pool-closure-capture" | "span-exception-unsafe"
+  | "replay-io-divergence" ->
+    true
   | _ -> false

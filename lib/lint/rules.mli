@@ -1,7 +1,10 @@
 (** The mcx-lint rule registry: every rule id, its synopsis, and the path
     scope it applies to. *)
 
-type kind = Source  (** Parsetree rule *) | Typed  (** Typedtree (.cmt) rule *)
+type kind =
+  | Source  (** Parsetree rule *)
+  | Typed  (** Typedtree (.cmt) rule *)
+  | Interproc  (** Whole-program rule over the {!Callgraph} effect fixpoint *)
 
 type t = { id : string; synopsis : string; kind : kind }
 
@@ -15,3 +18,7 @@ val applies : string -> string -> bool
     lived under [lib/] so lib-only rules can be exercised by fixtures. *)
 
 val starts_with : prefix:string -> string -> bool
+
+val dls_guarded_file : string -> bool
+(** Is the file at this repo-relative path one of the DLS-guarded modules
+    whose top-level mutable state is sanctioned (telemetry/prng/metrics)? *)

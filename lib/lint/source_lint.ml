@@ -4,13 +4,9 @@
    qualified aliases like [Stdlib.Random] are still caught. *)
 
 let finding ~file ~rule ~(loc : Location.t) message =
-  {
-    Finding.file;
-    line = loc.loc_start.pos_lnum;
-    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
-    rule;
-    message;
-  }
+  Finding.make ~file ~line:loc.loc_start.pos_lnum
+    ~col:(loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+    ~rule ~message
 
 let rec flatten_lid (lid : Longident.t) =
   match lid with

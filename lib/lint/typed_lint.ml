@@ -116,13 +116,9 @@ let deprecated_attr (vd : Types.value_description) =
     vd.val_attributes
 
 let finding ~file ~rule ~(loc : Location.t) message =
-  {
-    Finding.file;
-    line = loc.loc_start.pos_lnum;
-    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
-    rule;
-    message;
-  }
+  Finding.make ~file ~line:loc.loc_start.pos_lnum
+    ~col:(loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+    ~rule ~message
 
 (* [self]: when linting one of the packed modules' own cmt, its bare [t]
    is packed. [modname] is the cmt's compilation-unit name. *)

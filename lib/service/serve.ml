@@ -38,6 +38,9 @@ type t = {
   mutable requests_total : int;
 }
 
+(* MCX_CACHE_SIZE sizes the mapping cache; responses are cache-invariant
+   ("warm = cold" test), only latency changes. Blessed as a
+   transitive-nondet boundary for the interprocedural rule. *)
 let default_cache_capacity () =
   match Sys.getenv_opt "MCX_CACHE_SIZE" with
   | Some v -> (
@@ -45,6 +48,7 @@ let default_cache_capacity () =
     | Some n when n >= 0 -> n
     | Some _ | None -> 512)
   | None -> 512
+[@@mcx.lint.allow "transitive-nondet"]
 
 let create ?pool ?cache_capacity ?on_access () =
   let pool = match pool with Some p -> p | None -> Pool.default () in

@@ -291,24 +291,32 @@ let open_journal dir =
     ~finally:(fun () -> Mutex.unlock registry_lock)
     (fun () -> open_journal_locked dir)
 
+(* MCX_CHECKPOINT selects where (whether) the journal is kept; the swept
+   results are journal-invariant (the replay-equality tests). Blessed as
+   a transitive-nondet boundary so every driver calling [start] doesn't
+   need its own annotation. *)
+let env_dir () =
+  match Sys.getenv_opt "MCX_CHECKPOINT" with
+  | Some d when not (String.equal (String.trim d) "") -> Some (String.trim d)
+  | Some _ | None -> None
+[@@mcx.lint.allow "transitive-nondet"]
+
+(* MCX_FAULT_RATE turns on fault *injection* for the fault-tolerance
+   tests; injected crashes are retried/journaled, never silently folded
+   into results. Blessed as a transitive-nondet boundary. *)
+let env_fault_rate () =
+  match Sys.getenv_opt "MCX_FAULT_RATE" with
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some r when r > 0. -> Float.min r 1.
+    | Some _ | None -> 0.)
+  | None -> 0.
+[@@mcx.lint.allow "transitive-nondet"]
+
 let start ?dir ~experiment ~seed () =
   Printexc.record_backtrace true;
-  let dir =
-    match dir with
-    | Some d -> Some d
-    | None -> (
-      match Sys.getenv_opt "MCX_CHECKPOINT" with
-      | Some d when not (String.equal (String.trim d) "") -> Some (String.trim d)
-      | Some _ | None -> None)
-  in
-  let fault_rate =
-    match Sys.getenv_opt "MCX_FAULT_RATE" with
-    | Some s -> (
-      match float_of_string_opt (String.trim s) with
-      | Some r when r > 0. -> Float.min r 1.
-      | Some _ | None -> 0.)
-    | None -> 0.
-  in
+  let dir = match dir with Some d -> Some d | None -> env_dir () in
+  let fault_rate = env_fault_rate () in
   let journal = Option.map open_journal dir in
   let fault_key = Prng.Key.(string (string (root seed) "mcx-fault") experiment) in
   { journal; experiment; seed; fault_rate; fault_key }

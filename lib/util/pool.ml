@@ -14,6 +14,10 @@ type t = {
 
 let clamp_jobs n = max 1 (min 64 n)
 
+(* MCX_JOBS / the machine's core count select how much parallelism to
+   use, never what gets computed: results are job-count-invariant (the
+   "jobs 1 = jobs 4" tests). Blessed as a transitive-nondet boundary so
+   drivers reaching this through Pool don't each need an annotation. *)
 let default_jobs () =
   let from_env =
     match Sys.getenv_opt "MCX_JOBS" with
@@ -25,6 +29,7 @@ let default_jobs () =
   in
   clamp_jobs
     (match from_env with Some n -> n | None -> Domain.recommended_domain_count ())
+[@@mcx.lint.allow "transitive-nondet"]
 
 (* Inside a worker task, nested map calls must not block on the shared
    queue (every worker could end up waiting for helpers nobody is free to
@@ -177,6 +182,10 @@ type 'a outcome =
   | Skipped
   | Failed of { error : string; backtrace : string; attempts : int }
 
+(* MCX_TRIAL_RETRIES bounds how often a crashing trial is re-attempted;
+   a trial that succeeds computes the same value at any attempt count, so
+   this is an operational knob, not an input. Blessed as a
+   transitive-nondet boundary (see default_jobs). *)
 let default_retries () =
   match Sys.getenv_opt "MCX_TRIAL_RETRIES" with
   | Some s -> (
@@ -184,6 +193,7 @@ let default_retries () =
     | Some r when r >= 0 -> min r 16
     | Some _ | None -> 2)
   | None -> 2
+[@@mcx.lint.allow "transitive-nondet"]
 
 let map_isolated pool ?retries n f =
   let retries = match retries with Some r -> max 0 r | None -> default_retries () in
@@ -205,7 +215,6 @@ let map_isolated pool ?retries n f =
           Telemetry.count "pool.trial.failed";
           Failed { error = Printexc.to_string e; backtrace; attempts = k + 1 }
         end)
-      [@mcx.lint.allow "hygiene-catchall"]
     in
     attempt 0
   in

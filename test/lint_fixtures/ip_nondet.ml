@@ -1,0 +1,17 @@
+(* transitive-nondet: [driver] reaches Random.int through a 3-deep call
+   chain (expected at line 11, with the full chain); [clean_driver]
+   routes randomness through Mcx_util.Prng and must stay clean. *)
+
+let deep () = Random.int 10 [@@mcx.lint.allow "determinism-random"]
+
+let mid () = deep () + 1
+
+let shallow () = mid () + 1
+
+let driver () = shallow () [@@mcx.lint.entrypoint]
+
+let clean_deep k = Mcx_util.Prng.int (Mcx_util.Prng.of_key k) 10
+
+let clean_mid k = clean_deep k + 1
+
+let clean_driver k = clean_mid k [@@mcx.lint.entrypoint]

@@ -1,0 +1,14 @@
+(* pool-closure-capture: the literal closure handed to Pool.map reaches
+   the unguarded top-level [tally] through [record] (expected at line 10;
+   line 5 is the domain-toplevel-state source finding). The pure closure
+   is clean. *)
+let tally = Hashtbl.create 8
+
+let record i = Hashtbl.replace tally i i
+
+let hot pool =
+  Mcx_util.Pool.map pool 4 (fun i ->
+      record i;
+      i)
+
+let cold pool = Mcx_util.Pool.map pool 4 (fun i -> i + 1)

@@ -1,0 +1,17 @@
+(* replay-io-divergence: the trial function journaled by Checkpoint.map
+   writes to stdout (expected at the sweep's map call); the
+   telemetry-routed twin is clean. *)
+
+let trial i =
+  (print_int i [@mcx.lint.allow "output-print"]);
+  i
+
+let sweep cp pool n =
+  Mcx_util.Checkpoint.map cp ~pool ~section:"s" ~n
+    ~codec:Mcx_util.Checkpoint.Codec.int trial
+
+let clean cp pool n =
+  Mcx_util.Checkpoint.map cp ~pool ~section:"s" ~n
+    ~codec:Mcx_util.Checkpoint.Codec.int (fun i ->
+      Mcx_util.Telemetry.count "fixture.trial";
+      i)

@@ -1,0 +1,10 @@
+(* transitive-nondet through a mutually recursive pair: [ping]/[pong]
+   form one SCC whose shared effect value must reach [driver] (expected
+   at line 10). *)
+
+let rec ping n = if n = 0 then Random.bits () else pong (n - 1)
+  [@@mcx.lint.allow "determinism-random"]
+
+and pong n = ping n
+
+let driver () = ping 3 [@@mcx.lint.entrypoint]

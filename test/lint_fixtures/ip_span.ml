@@ -1,0 +1,16 @@
+(* span-exception-unsafe: the manual span opened in [traced] can be
+   escaped by [risky]'s exception before end_span runs (expected at the
+   begin_span line); [safe] contains the exception and must stay clean. *)
+
+let risky () = failwith "boom"
+
+let traced () =
+  Mcx_util.Telemetry.begin_span "work";
+  let r = risky () in
+  Mcx_util.Telemetry.end_span "work";
+  r
+
+let safe () =
+  Mcx_util.Telemetry.begin_span "ok";
+  ignore ((try risky () with _ -> 0) [@mcx.lint.allow "hygiene-catchall"]);
+  Mcx_util.Telemetry.end_span "ok"

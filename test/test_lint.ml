@@ -103,7 +103,9 @@ let test_allow_file_parsing () =
       "# comment\n\ntest/lint_fixtures/ *\nlib/util/pool.ml hygiene-catchall  # trailing\n"
   in
   Alcotest.(check int) "entries" 2 (List.length entries);
-  let f file rule : Lint.Finding.t = { file; line = 1; col = 0; rule; message = "m" } in
+  let f file rule : Lint.Finding.t =
+    Lint.Finding.make ~file ~line:1 ~col:0 ~rule ~message:"m"
+  in
   Alcotest.(check bool) "prefix+star" true
     (Lint.Allow.allowed_by_file entries (f "test/lint_fixtures/det_random.ml" "determinism-random"));
   Alcotest.(check bool) "exact+rule" true
@@ -127,7 +129,7 @@ let test_allow_file_suppresses_fixtures () =
 
 let test_rule_registry () =
   let ids = Lint.Rules.ids in
-  Alcotest.(check int) "12 rules" 12 (List.length ids);
+  Alcotest.(check int) "16 rules" 16 (List.length ids);
   Alcotest.(check int) "ids unique" (List.length ids)
     (List.length (List.sort_uniq String.compare ids));
   List.iter (fun id -> Alcotest.(check bool) id true (Lint.Rules.mem id)) ids;
@@ -184,10 +186,14 @@ let test_only_filter () =
 
 let test_finding_format () =
   let f : Lint.Finding.t =
-    { file = "lib/x.ml"; line = 3; col = 7; rule = "output-print"; message = "nope" }
+    Lint.Finding.make ~file:"lib/x.ml" ~line:3 ~col:7 ~rule:"output-print" ~message:"nope"
   in
   Alcotest.(check string) "text" "lib/x.ml:3:7 [output-print] nope"
-    (Lint.Finding.to_string f)
+    (Lint.Finding.to_string f);
+  let chained = { f with chain = [ { name = "Mcx_util.Pool.go"; file = "lib/util/pool.ml"; line = 9; col = 2 } ] } in
+  Alcotest.(check string) "text+chain"
+    "lib/x.ml:3:7 [output-print] nope\n    via Mcx_util.Pool.go (lib/util/pool.ml:9:2)"
+    (Lint.Finding.to_string chained)
 
 let test_json_report () =
   let config =
@@ -207,6 +213,232 @@ let test_json_report () =
   Alcotest.(check bool) "rule id" true (contains "\"rule\":\"hygiene-obj-magic\"");
   Alcotest.(check bool) "count" true (contains "\"count\":1")
 
+(* --- interprocedural rules -------------------------------------------- *)
+
+let test_transitive_nondet () =
+  check_fixture "ip_nondet.ml" [ (11, "transitive-nondet") ]
+
+let test_transitive_nondet_scc () = check_fixture "ip_scc.ml" [ (10, "transitive-nondet") ]
+
+let test_nondet_chain () =
+  match lint_fixture "ip_nondet.ml" with
+  | [ f ] ->
+    Alcotest.(check (list string))
+      "shortest source\xe2\x86\x92sink chain"
+      [
+        "Lint_fixtures.Ip_nondet.shallow";
+        "Lint_fixtures.Ip_nondet.mid";
+        "Lint_fixtures.Ip_nondet.deep";
+        "Stdlib.Random.int";
+      ]
+      (List.map (fun (s : Lint.Finding.step) -> s.name) f.chain)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_pool_closure_capture () =
+  check_fixture "ip_pool_capture.ml"
+    [ (5, "domain-toplevel-state"); (10, "pool-closure-capture") ]
+
+let test_span_exception_unsafe () =
+  check_fixture "ip_span.ml" [ (8, "span-exception-unsafe") ]
+
+let test_replay_io_divergence () =
+  check_fixture "ip_replay_io.ml" [ (10, "replay-io-divergence") ]
+
+(* --- call graph and effect fixpoint on hand-built graphs -------------- *)
+
+let mk_node ?(mut = false) ?(entry = false) ?(sources = []) ?(edges = []) id :
+    Lint.Callgraph.node =
+  {
+    id;
+    nfile = "lib/x.ml";
+    nline = 1;
+    ncol = 0;
+    mutable_state = mut;
+    entrypoint = entry;
+    sources;
+    edges;
+    spans = [];
+    closures = [];
+  }
+
+let mk_edge callee : Lint.Callgraph.edge =
+  { callee; eline = 1; ecol = 0; raise_protected = false; e_in_span = None }
+
+let nondet_src : Lint.Callgraph.source =
+  {
+    kind = Lint.Callgraph.Nondet;
+    name = "Stdlib.Random.int";
+    sline = 1;
+    scol = 0;
+    in_span = None;
+  }
+
+let mk_summary nodes : Lint.Callgraph.summary =
+  { modname = "M"; src = "lib/x.ml"; nodes; typed_findings = [] }
+
+(* a <-> b (one SCC) -> c (the Nondet source) *)
+let cyclic_graph () =
+  Lint.Callgraph.build
+    [
+      mk_summary
+        [
+          mk_node "M.a" ~edges:[ mk_edge "M.b" ];
+          mk_node "M.b" ~edges:[ mk_edge "M.a"; mk_edge "M.c" ];
+          mk_node "M.c" ~sources:[ nondet_src ];
+        ];
+    ]
+
+let test_canonical_names () =
+  Alcotest.(check string) "module mangling" "Mcx_util.Pool.map"
+    (Lint.Callgraph.canonical "Mcx_util__Pool.map");
+  Alcotest.(check string) "value underscores survive" "M.foo__bar"
+    (Lint.Callgraph.canonical "M.foo__bar")
+
+let test_sccs_reverse_topological () =
+  Alcotest.(check (list (list string)))
+    "components, successors first"
+    [ [ "M.c" ]; [ "M.a"; "M.b" ] ]
+    (Lint.Callgraph.sccs (cyclic_graph ()))
+
+let test_effect_fixpoint () =
+  let g = cyclic_graph () in
+  let transitive ?barrier id = Lint.Effects.transitive g ?barrier Lint.Effects.Nondet id in
+  Alcotest.(check bool) "cycle member reaches source" true (transitive "M.a");
+  Alcotest.(check bool) "direct source" true (transitive "M.c");
+  let barrier (n : Lint.Callgraph.node) = n.id = "M.c" in
+  Alcotest.(check bool) "barrier masks propagation" false (transitive ~barrier "M.a");
+  Alcotest.(check bool) "barrier does not mask the source itself" true
+    (transitive ~barrier "M.c");
+  Alcotest.(check bool) "unknown id" false (transitive "M.zzz")
+
+(* --- incremental cache ------------------------------------------------ *)
+
+let test_cache_roundtrip () =
+  let path = Filename.temp_file "mcx-lint-cache" ".json" in
+  let t = Lint.Cache.empty () in
+  let summary =
+    {
+      Lint.Callgraph.modname = "M";
+      src = "lib/x.ml";
+      nodes = [ mk_node "M.a" ~mut:true ~edges:[ mk_edge "M.b" ]; mk_node "M.b" ~sources:[ nondet_src ] ];
+      typed_findings = [ Lint.Finding.make ~file:"lib/x.ml" ~line:2 ~col:0 ~rule:"hygiene-obj-magic" ~message:"m" ];
+    }
+  in
+  Lint.Cache.add t ~path:"lib/.objs/x.cmt"
+    { Lint.Cache.digest = "abc"; summary; findings = summary.typed_findings };
+  Lint.Cache.save path t;
+  let t2 = Lint.Cache.load path in
+  (match Lint.Cache.find t2 ~path:"lib/.objs/x.cmt" ~digest:"abc" with
+  | None -> Alcotest.fail "expected a cache hit"
+  | Some e ->
+    Alcotest.(check string) "modname" "M" e.summary.modname;
+    Alcotest.(check int) "nodes" 2 (List.length e.summary.nodes);
+    Alcotest.(check bool) "mut round-trips" true
+      (List.exists (fun (n : Lint.Callgraph.node) -> n.id = "M.a" && n.mutable_state)
+         e.summary.nodes);
+    Alcotest.(check int) "findings" 1 (List.length e.findings));
+  Alcotest.(check bool) "digest change invalidates" true
+    (Lint.Cache.find t2 ~path:"lib/.objs/x.cmt" ~digest:"other" = None);
+  Sys.remove path
+
+let test_cache_corrupt_load () =
+  let path = Filename.temp_file "mcx-lint-cache" ".json" in
+  let oc = open_out path in
+  output_string oc "{not json";
+  close_out oc;
+  let t = Lint.Cache.load path in
+  Alcotest.(check bool) "corrupt file loads as empty" true
+    (Lint.Cache.find t ~path:"x" ~digest:"d" = None);
+  Sys.remove path
+
+let test_driver_cache_warm () =
+  let cache_rel = "_build/mcx-lint-test-cache.json" in
+  let config =
+    {
+      (Lint.Driver.default_config ~root) with
+      paths = [ fixture_dir ^ "ip_nondet.ml" ];
+      allow_file = None;
+      cache_file = Some cache_rel;
+    }
+  in
+  let r1 = Lint.Driver.run config in
+  let r2 = Lint.Driver.run config in
+  Alcotest.(check bool) "cache file written" true
+    (Sys.file_exists (Filename.concat root cache_rel));
+  Alcotest.(check int) "warm run re-analyzes nothing" 0 r2.modules_analyzed;
+  Alcotest.(check bool) "warm run hits the cache" true (r2.cache_hits > 0);
+  Alcotest.(check (list string)) "warm findings byte-identical"
+    (List.map Lint.Finding.to_string r1.findings)
+    (List.map Lint.Finding.to_string r2.findings);
+  Sys.remove (Filename.concat root cache_rel)
+
+(* --- stale-allow tracking (--check-allows) ---------------------------- *)
+
+let test_stale_allow_entries () =
+  let entries =
+    Lint.Allow.parse_allow_file_contents "# header\nlib/never/ *\ntest/lint_fixtures/ *\n"
+  in
+  let f =
+    Lint.Finding.make ~file:"test/lint_fixtures/det_random.ml" ~line:3 ~col:0
+      ~rule:"determinism-random" ~message:"m"
+  in
+  Alcotest.(check bool) "suppressed" true (Lint.Allow.allowed_by_file entries f);
+  (match entries with
+  | [ never; fixtures ] ->
+    Alcotest.(check bool) "unmatched entry stays unused" false never.entry_used;
+    Alcotest.(check int) "entry line recorded" 2 never.entry_line;
+    Alcotest.(check bool) "matched entry marked used" true fixtures.entry_used
+  | _ -> Alcotest.fail "expected two entries");
+  let span : Lint.Allow.span =
+    { rule = Some "output-print"; start_line = 1; start_col = 0; end_line = 9; end_col = 0; used = false }
+  in
+  Alcotest.(check bool) "span consulted as barrier" true
+    (Lint.Allow.allows [ span ] ~rule:"output-print" ~line:4 ~col:2);
+  Alcotest.(check bool) "span marked used" true span.used
+
+let test_fixture_run_has_no_stale_allows () =
+  let config =
+    {
+      (Lint.Driver.default_config ~root) with
+      paths = [ fixture_dir ^ "ip_nondet.ml" ];
+      allow_file = None;
+    }
+  in
+  let result = Lint.Driver.run config in
+  Alcotest.(check int) "every fixture annotation earns its keep" 0
+    (List.length result.stale_allows)
+
+(* --- SARIF ------------------------------------------------------------ *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_sarif_report () =
+  let config =
+    {
+      (Lint.Driver.default_config ~root) with
+      paths = [ fixture_dir ^ "ip_nondet.ml" ];
+      allow_file = None;
+    }
+  in
+  let sarif = Lint.Driver.report_sarif (Lint.Driver.run config) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("sarif contains " ^ needle) true (contains sarif needle))
+    [
+      "\"version\":\"2.1.0\"";
+      "sarif-schema-2.1.0.json";
+      "\"name\":\"mcx-lint\"";
+      "\"ruleId\":\"transitive-nondet\"";
+      "\"codeFlows\"";
+      "\"startLine\":11";
+      "\"uri\":\"test/lint_fixtures/ip_nondet.ml\"";
+    ];
+  (* columns are 1-based in SARIF: the driver node sits at col 0 *)
+  Alcotest.(check bool) "1-based startColumn" true (contains sarif "\"startColumn\":1")
+
 (* --- the self-hosting check ------------------------------------------ *)
 
 let test_self_host () =
@@ -219,7 +451,18 @@ let test_self_host () =
   Alcotest.(check bool)
     (Printf.sprintf "typed coverage (%d files)" result.files_typed)
     true
-    (result.files_typed >= 50)
+    (result.files_typed >= 50);
+  (* The interprocedural rules are only as good as the whole-program graph
+     behind them: demand a real fixpoint over the repo, not a toy slice. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "call graph breadth (%d modules)" result.graph_modules)
+    true
+    (result.graph_modules >= 50);
+  Alcotest.(check (list string)) "no stale allows" []
+    (List.map
+       (fun (s : Lint.Driver.stale_allow) ->
+         Printf.sprintf "%s:%d %s" s.sa_file s.sa_line s.sa_rule)
+       result.stale_allows)
 
 let () =
   Alcotest.run "mcx-lint"
@@ -254,5 +497,33 @@ let () =
           Alcotest.test_case "finding format" `Quick test_finding_format;
           Alcotest.test_case "json report" `Quick test_json_report;
         ] );
+      ( "interproc",
+        [
+          Alcotest.test_case "transitive-nondet" `Quick test_transitive_nondet;
+          Alcotest.test_case "transitive-nondet (scc)" `Quick test_transitive_nondet_scc;
+          Alcotest.test_case "source\xe2\x86\x92sink chain" `Quick test_nondet_chain;
+          Alcotest.test_case "pool-closure-capture" `Quick test_pool_closure_capture;
+          Alcotest.test_case "span-exception-unsafe" `Quick test_span_exception_unsafe;
+          Alcotest.test_case "replay-io-divergence" `Quick test_replay_io_divergence;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "canonical names" `Quick test_canonical_names;
+          Alcotest.test_case "sccs reverse-topological" `Quick test_sccs_reverse_topological;
+          Alcotest.test_case "effect fixpoint" `Quick test_effect_fixpoint;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "round-trip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "corrupt load" `Quick test_cache_corrupt_load;
+          Alcotest.test_case "driver warm run" `Quick test_driver_cache_warm;
+        ] );
+      ( "allows",
+        [
+          Alcotest.test_case "stale tracking" `Quick test_stale_allow_entries;
+          Alcotest.test_case "fixture run has none" `Quick
+            test_fixture_run_has_no_stale_allows;
+        ] );
+      ("sarif", [ Alcotest.test_case "report shape" `Quick test_sarif_report ]);
       ("self-host", [ Alcotest.test_case "repo lints clean" `Quick test_self_host ]);
     ]
