@@ -23,10 +23,10 @@
                   degrade to partial results, a failed-trial manifest
                   and exit status 4. *)
 
+(* MCX_SAMPLES via the Config registry: a malformed value is a startup
+   error (exit 2, reported in main), never a silent paper-scale run. *)
 let samples_default fallback =
-  match Sys.getenv_opt "MCX_SAMPLES" with
-  | Some s -> (try max 1 (int_of_string s) with Failure _ -> fallback)
-  | None -> fallback
+  match Mcx.Util.Config.samples () with Some n -> n | None -> fallback
 
 let seed = 2018 (* DATE 2018 *)
 
@@ -80,6 +80,10 @@ let write_bench_json path =
     (J.Obj
        [
          ("schema", J.Str "mcx-bench/1");
+         (* Wall times are measurements, so the dump can afford the full
+            config snapshot — it records the knob state that produced
+            this trajectory point. *)
+         ("config", Mcx.Util.Config.snapshot ());
          ("seed", J.Int seed);
          ("jobs", J.Int (Mcx.Util.Pool.jobs (pool ())));
          ("experiments", J.List (List.map experiment (List.rev !wall_records)));
@@ -425,6 +429,14 @@ let experiments =
   ]
 
 let () =
+  (match Mcx.Util.Config.errors () with
+  | [] -> ()
+  | errs ->
+    List.iter
+      (fun { Mcx.Util.Config.knob; value; expected } ->
+        Printf.eprintf "bench: invalid %s=%S (expected %s)\n" knob value expected)
+      errs;
+    exit 2);
   Mcx.Util.Telemetry.install_from_env ();
   let requested =
     match List.tl (Array.to_list Sys.argv) with

@@ -11,26 +11,50 @@
      serve      answer a JSONL stream of mapping requests (cached, batched)
      report     analyze serving observability files (access/metrics/trace)
      experiment run a paper experiment (fig6 | table1 | table2 | yield |
-                mldefect | ratesweep | ablation | tradeoff | aging) *)
+                mldefect | ratesweep | ablation | tradeoff | aging)
+     config     show the effective MCX_* knob state (and validate it) *)
 
 open Cmdliner
+
+(* Knob plumbing: every MCX_* read goes through the Config registry, and
+   the flags below override the environment by writing flag overrides
+   into it. Startup fails hard (exit 2) on a malformed knob instead of
+   silently falling back — `memx config` explains the state. *)
+
+let report_invalid ~prefix { Mcx.Util.Config.knob; value; expected } =
+  Printf.eprintf "%s: invalid %s=%S (expected %s)\n" prefix knob value expected
+
+let set_flag_or_die name value =
+  match Mcx.Util.Config.set_flag name value with
+  | () -> ()
+  | exception Mcx.Util.Config.Invalid { knob; value; expected } ->
+    report_invalid ~prefix:"memx" { Mcx.Util.Config.knob; value; expected };
+    exit 2
+
+let config_or_die () =
+  match Mcx.Util.Config.errors () with
+  | [] -> ()
+  | errs ->
+    List.iter (report_invalid ~prefix:"memx") errs;
+    exit 2
 
 let setup_logs verbosity trace =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level verbosity;
-  match trace with
-  | Some path when path <> "" -> Mcx.Util.Telemetry.install ~trace:path ()
-  | Some _ | None -> ()
+  (match trace with
+  | Some path when path <> "" -> set_flag_or_die "MCX_TRACE" path
+  | Some _ | None -> ());
+  config_or_die ();
+  Mcx.Util.Telemetry.install_from_env ()
 
 let trace_arg =
-  let env = Cmd.Env.info "MCX_TRACE" in
   let doc =
     "Record telemetry and write a Chrome trace-event JSON (loadable in Perfetto) to \
      $(docv) at exit; a per-phase summary table goes to stderr so stdout stays \
-     byte-comparable."
+     byte-comparable. Overrides $(b,MCX_TRACE)."
   in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~env ~docv:"FILE" ~doc)
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let verbosity =
   let env = Cmd.Env.info "MEMX_VERBOSITY" in
@@ -315,16 +339,22 @@ let serve_run () inputs output stats_path cache_size batch_size access_log metri
        was requested; enabling without events keeps it cheap. *)
     if not (Mcx.Util.Telemetry.enabled ()) then Mcx.Util.Telemetry.enable ~events:false ()
   end;
+  Option.iter (fun n -> set_flag_or_die "MCX_CACHE_SIZE" (string_of_int n)) cache_size;
   let times = Mcx.Util.Telemetry.times_from_env () in
+  (* Deterministic projection (times = false) embeds the semantic-only
+     digest, so access logs stay byte-identical across job counts; the
+     timed projection records the full config digest. *)
+  let config_digest = Mcx.Util.Config.digest ~semantic_only:(not times) () in
   let access_out = Option.map open_out access_log in
   let on_access =
     Option.map
       (fun oc record ->
-        output_string oc (Mcx_service.Access_log.to_line ~times record);
+        output_string oc
+          (Mcx_service.Access_log.to_line ~config:config_digest ~times record);
         output_char oc '\n')
       access_out
   in
-  let server = Mcx_service.Serve.create ?cache_capacity:cache_size ?on_access () in
+  let server = Mcx_service.Serve.create ?on_access () in
   let out, close_output =
     match output with
     | None -> (stdout, fun () -> flush stdout)
@@ -394,7 +424,9 @@ let serve_run () inputs output stats_path cache_size batch_size access_log metri
     Option.iter
       (fun path ->
         Mcx.Util.Json_out.write_file path
-          (Mcx.Util.Metrics.Snapshot.to_json ~times snapshot))
+          (Mcx.Util.Metrics.Snapshot.to_json ~times
+             ~config:(Mcx.Util.Config.snapshot ~semantic_only:(not times) ())
+             snapshot))
       metrics_json
   end;
   exit (Mcx_service.Serve.exit_code server)
@@ -425,12 +457,13 @@ let serve_cmd =
              p50/p95 latency) to $(docv) and print the per-batch table to stderr.")
   in
   let cache_size =
-    let env = Cmd.Env.info "MCX_CACHE_SIZE" in
     Arg.(
       value
       & opt (some int) None
-      & info [ "cache-size" ] ~env ~docv:"N"
-          ~doc:"Result cache capacity in entries (default 512; 0 disables caching).")
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:
+            "Result cache capacity in entries (default 512; 0 disables caching). \
+             Overrides $(b,MCX_CACHE_SIZE).")
   in
   let batch =
     Arg.(
@@ -591,7 +624,7 @@ let report_cmd =
 
 (* --- experiment --- *)
 
-let experiment_run () name samples seed =
+let experiment_dispatch ~samples ~seed name =
   (match name with
   | "fig6" ->
     let panels = Mcx.Experiments.Fig6.run ?samples ~seed () in
@@ -634,7 +667,21 @@ let experiment_run () name samples seed =
       "memx: unknown experiment %S \
        (fig6|table1|table2|yield|mldefect|ratesweep|ablation|tradeoff|aging|transient|margin)\n"
       other;
-    exit 1);
+    exit 1)
+
+let experiment_run () name samples force_resume seed =
+  if force_resume then set_flag_or_die "MCX_FORCE_RESUME" "1";
+  (* --samples is the flag spelling of MCX_SAMPLES: route it through the
+     registry so the journal's config snapshot records the override (and
+     a later resume at a different sample count refuses). *)
+  Option.iter (fun n -> set_flag_or_die "MCX_SAMPLES" (string_of_int n)) samples;
+  let samples = Mcx.Util.Config.samples () in
+  (try experiment_dispatch ~samples ~seed name
+   with Mcx.Util.Checkpoint.Config_mismatch _ as e ->
+     (* The registered printer spells out the recovery options
+        (--force-resume, memx config); exit 2 = "refused to start". *)
+     Printf.eprintf "memx: %s\n" (Printexc.to_string e);
+     exit 2);
   (* Degradation protocol: the tables above are already printed (partial
      where trials failed permanently); persist the failed-trial manifest
      and report the failure through the exit status. *)
@@ -652,11 +699,81 @@ let experiment_cmd =
     Arg.(
       value
       & opt (some int) None
-      & info [ "samples" ] ~docv:"N" ~doc:"Monte Carlo samples (default: paper-scale).")
+      & info [ "samples" ] ~docv:"N"
+          ~doc:
+            "Monte Carlo samples (default: paper-scale). Overrides $(b,MCX_SAMPLES).")
+  in
+  let force_resume =
+    Arg.(
+      value & flag
+      & info [ "force-resume" ]
+          ~doc:
+            "Resume a checkpoint journal even when its recorded mcx-config/1 digest \
+             differs from the current knob state (equivalent to \
+             $(b,MCX_FORCE_RESUME=1)). Without it, a mismatched resume refuses with \
+             exit 2.")
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one of the paper's experiments.")
-    Term.(const experiment_run $ verbosity $ experiment_name $ samples $ seed_arg)
+    Term.(
+      const experiment_run $ verbosity $ experiment_name $ samples $ force_resume
+      $ seed_arg)
+
+(* --- config --- *)
+
+let config_run json =
+  (* Deliberately does not go through [setup_logs]/[config_or_die]: this
+     command must *diagnose* a broken environment, so it reports every
+     malformed and unknown MCX_* variable (not just the first) before
+     exiting 2. *)
+  let errs = Mcx.Util.Config.errors () in
+  let unknown = Mcx.Util.Config.unknown () in
+  List.iter (report_invalid ~prefix:"memx config") errs;
+  List.iter
+    (fun (name, _value) ->
+      Printf.eprintf "memx config: unknown %s (not a registered knob; see memx config --help)\n"
+        name)
+    unknown;
+  if errs <> [] || unknown <> [] then exit 2;
+  if json then print_endline (Mcx.Util.Json_out.to_string (Mcx.Util.Config.snapshot ()))
+  else begin
+    let table =
+      Mcx.Util.Texttable.create
+        [ "knob"; "type"; "layer"; "semantic"; "provenance"; "value"; "default" ]
+    in
+    List.iter
+      (fun k ->
+        Mcx.Util.Texttable.add_row table
+          [
+            k.Mcx.Util.Config.name;
+            k.Mcx.Util.Config.ty;
+            k.Mcx.Util.Config.layer;
+            (if k.Mcx.Util.Config.semantic then "yes" else "no");
+            Mcx.Util.Config.provenance_name k.Mcx.Util.Config.prov;
+            Mcx.Util.Json_out.to_string k.Mcx.Util.Config.value;
+            Mcx.Util.Json_out.to_string k.Mcx.Util.Config.default;
+          ])
+      (Mcx.Util.Config.knobs ());
+    Mcx.Util.Texttable.print table;
+    Printf.printf "digest: %s (semantic-only: %s)\n" (Mcx.Util.Config.digest ())
+      (Mcx.Util.Config.digest ~semantic_only:true ())
+  end
+
+let config_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the canonical mcx-config/1 snapshot instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "config"
+       ~doc:
+         "Show the effective knob configuration: every registered MCX_* variable with \
+          its type, layer, provenance (default/env/flag) and value, plus the \
+          mcx-config/1 digests embedded in journals, traces and metrics. Exits 2 when \
+          the environment carries a malformed or unknown MCX_* variable, naming each \
+          offender.")
+    Term.(const config_run $ json)
 
 let main =
   Cmd.group
@@ -664,7 +781,7 @@ let main =
        ~doc:"Logic synthesis and defect tolerance for memristive crossbar arrays.")
     [
       synth_cmd; map_cmd; sim_cmd; export_cmd; show_cmd; bench_cmd; serve_cmd;
-      report_cmd; experiment_cmd;
+      report_cmd; experiment_cmd; config_cmd;
     ]
 
 let () = exit (Cmd.eval main)

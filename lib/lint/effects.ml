@@ -13,8 +13,9 @@ let root_exact = [ "Mcx_util.Checkpoint.map"; "Mcx_util.Checkpoint.fold_complete
 
 (* Sanctioned escape hatches: nondeterminism routed through these modules
    is the repo's own deterministic machinery (key-mixed PRNG streams,
-   monotonic clocks, trace gating). *)
-let nondet_sanctioned = [ "Mcx_util.Prng."; "Mcx_util.Telemetry."; "Mcx_util.Timing." ]
+   monotonic clocks, trace gating, the validated Config knob registry). *)
+let nondet_sanctioned =
+  [ "Mcx_util.Prng."; "Mcx_util.Telemetry."; "Mcx_util.Timing."; "Mcx_util.Config." ]
 
 (* Stdout reachable through Telemetry/Checkpoint is resume-aware (their
    summaries are stderr-only or replay-deterministic by construction). *)

@@ -145,6 +145,13 @@ let all : t list =
       kind = Typed;
     };
     {
+      id = "raw-env-read";
+      synopsis =
+        "Sys.getenv/getenv_opt/Unix.getenv outside lib/util/config.ml; declare the \
+         knob in the Config registry and read it through a typed accessor";
+      kind = Typed;
+    };
+    {
       id = "transitive-nondet";
       synopsis =
         "an experiment driver / Serve handler / Checkpoint replay entry can reach \
@@ -187,6 +194,7 @@ let applies rule rel =
   | "determinism-poly-hash" | "packed-poly-compare" | "float-sort-poly-compare"
   | "hygiene-obj-magic" | "hygiene-catchall" | "hygiene-deprecated" ->
     true
+  | "raw-env-read" -> not (is_one_of rel [ "lib/util/config.ml" ])
   | "domain-toplevel-state" -> in_lib rel && not (is_one_of rel dls_guarded)
   | "output-print" -> in_lib rel && not (is_one_of rel render_owners)
   | "output-stderr-print" -> in_instrumented rel && not (is_one_of rel stderr_owners)

@@ -54,6 +54,12 @@ let sort_fns =
 (* The polymorphic comparators a sort site must not use at float. *)
 let poly_comparators = [ "Stdlib.compare"; "Stdlib.Poly.compare" ]
 
+(* Raw environment reads. Every MCX_* knob (and anything else the run
+   depends on) must come through the typed Config registry — the one
+   validated, snapshot-recorded boundary — not ad-hoc getenv parsing.
+   Matching by [Path.name] catches aliases ([module S = Sys]) too. *)
+let env_read_fns = [ "Stdlib.Sys.getenv"; "Stdlib.Sys.getenv_opt"; "Unix.getenv" ]
+
 (* Last segment of a dune-mangled module name: "Mcx_logic__Cube" -> "Cube". *)
 let unmangle seg =
   let n = String.length seg in
@@ -148,6 +154,13 @@ let run ~file ~modname (str : Typedtree.structure) =
                name packed)
         | None -> ()
       end;
+      if List.mem name env_read_fns then
+        add ~rule:"raw-env-read" ~loc
+          (Printf.sprintf
+             "%s reads the environment directly; declare the knob in Mcx_util.Config \
+              and use its typed accessor (validated, and recorded in the mcx-config/1 \
+              snapshot)"
+             name);
       if deprecated_attr vd then
         add ~rule:"hygiene-deprecated" ~loc (Printf.sprintf "%s is deprecated" name)
     | Texp_apply ({ exp_desc = Texp_ident (fn, _, _); _ }, args)

@@ -39,16 +39,9 @@ type t = {
 }
 
 (* MCX_CACHE_SIZE sizes the mapping cache; responses are cache-invariant
-   ("warm = cold" test), only latency changes. Blessed as a
-   transitive-nondet boundary for the interprocedural rule. *)
-let default_cache_capacity () =
-  match Sys.getenv_opt "MCX_CACHE_SIZE" with
-  | Some v -> (
-    match int_of_string_opt (String.trim v) with
-    | Some n when n >= 0 -> n
-    | Some _ | None -> 512)
-  | None -> 512
-[@@mcx.lint.allow "transitive-nondet"]
+   ("warm = cold" test), only latency changes. Read (validated) through
+   the Config registry, the sanctioned env boundary. *)
+let default_cache_capacity () = Mcx_util.Config.cache_size ()
 
 let create ?pool ?cache_capacity ?on_access () =
   let pool = match pool with Some p -> p | None -> Pool.default () in
@@ -375,6 +368,9 @@ let stats_json t =
   Json.Obj
     [
       ("schema", Json.Str "mcx-serve-stats/1");
+      (* Full config snapshot: stats carry wall-clock fields already, so
+         they are never byte-diffed across job counts. *)
+      ("config", Mcx_util.Config.snapshot ());
       ("requests", Json.Int t.requests_total);
       ("errors", Json.Int t.errors_total);
       ( "cache",

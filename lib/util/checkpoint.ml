@@ -8,9 +8,25 @@
 
 exception Injected_fault
 
+exception
+  Config_mismatch of {
+    path : string;
+    journal_digest : string;
+    current_digest : string;
+  }
+
 let () =
   Printexc.register_printer (function
     | Injected_fault -> Some "Checkpoint.Injected_fault (MCX_FAULT_RATE injection)"
+    | Config_mismatch { path; journal_digest; current_digest } ->
+      Some
+        (Printf.sprintf
+           "Checkpoint.Config_mismatch: journal %s was written under config digest %s \
+            but the current configuration digests to %s; resuming would mix results \
+            from two knob states. Re-run with the original MCX_* knobs (memx config \
+            shows the current state), or pass --force-resume / MCX_FORCE_RESUME=1 to \
+            resume anyway."
+           path journal_digest current_digest)
     | _ -> None)
 
 module Codec = struct
@@ -205,17 +221,31 @@ let classify line =
         Trial (key ~experiment ~seed ~section ~trial, result)
       | _ -> Corrupt))
 
+(* Returns (loaded, dropped, config digest of the first header that
+   carries one). [None] covers a missing file, a journal predating
+   config snapshots, and a torn header alike: resume proceeds with a
+   warning instead of refusing. *)
 let load_into path trials =
-  if not (Sys.file_exists path) then (0, 0)
+  if not (Sys.file_exists path) then (0, 0, None)
   else begin
     let ic = open_in_bin path in
     let loaded = ref 0 and dropped = ref 0 in
+    let header_digest = ref None in
     (try
        while true do
          let line = input_line ic in
          if not (String.equal (String.trim line) "") then
            match classify line with
-           | Header -> ()
+           | Header ->
+             if Option.is_none !header_digest then begin
+               match Json_out.of_string line with
+               | Ok json ->
+                 header_digest :=
+                   Option.bind (Json_out.member "config" json) (fun config ->
+                       Option.bind (Json_out.member "digest" config)
+                         Json_out.to_string_opt)
+               | Error _ -> ()
+             end
            | Trial (k, result) ->
              Hashtbl.replace trials k result;
              incr loaded
@@ -223,7 +253,7 @@ let load_into path trials =
        done
      with End_of_file -> ());
     close_in ic;
-    (!loaded, !dropped)
+    (!loaded, !dropped, !header_digest)
   end
 
 let rec mkdir_p path =
@@ -245,6 +275,11 @@ let header_line () =
          ( "argv",
            Json_out.List
              (Array.to_list (Array.map (fun a -> Json_out.Str a) Sys.argv)) );
+         (* The full knob state (operational knobs included): a resumed
+            run compares its own digest against this and refuses on a
+            mismatch — resuming under different knobs is a correctness
+            hazard, not an observability gap. *)
+         ("config", Config.snapshot ());
        ])
 
 (* Called with [registry_lock] held. *)
@@ -256,7 +291,34 @@ let open_journal_locked dir =
         mkdir_p dir;
         let path = Filename.concat dir "journal.jsonl" in
         let trials = Hashtbl.create 1024 in
-        let loaded, dropped = load_into path trials in
+        let loaded, dropped, journal_digest = load_into path trials in
+        (* Resume refusal: the journal's recorded config digest must match
+           the current one (the full digest, MCX_JOBS included — the
+           acceptance case is precisely a jobs=4 journal resumed under
+           jobs=1). MCX_FORCE_RESUME / --force-resume overrides with a
+           warning; a journal predating config snapshots warns too. *)
+        (match journal_digest with
+        | Some d ->
+          let current = Config.digest () in
+          if not (String.equal d current) then
+            if Config.force_resume () then begin
+              Printf.eprintf
+                "[mcx] checkpoint: config digest mismatch at %s (journal %s, current \
+                 %s); resuming anyway (--force-resume)\n"
+                path d current;
+              flush stderr
+            end
+            else
+              raise
+                (Config_mismatch { path; journal_digest = d; current_digest = current })
+        | None ->
+          if loaded > 0 || dropped > 0 then begin
+            Printf.eprintf
+              "[mcx] checkpoint: journal at %s records no config snapshot; resuming \
+               unverified\n"
+              path;
+            flush stderr
+          end);
         let oc =
           open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
         in
@@ -292,26 +354,15 @@ let open_journal dir =
     (fun () -> open_journal_locked dir)
 
 (* MCX_CHECKPOINT selects where (whether) the journal is kept; the swept
-   results are journal-invariant (the replay-equality tests). Blessed as
-   a transitive-nondet boundary so every driver calling [start] doesn't
-   need its own annotation. *)
-let env_dir () =
-  match Sys.getenv_opt "MCX_CHECKPOINT" with
-  | Some d when not (String.equal (String.trim d) "") -> Some (String.trim d)
-  | Some _ | None -> None
-[@@mcx.lint.allow "transitive-nondet"]
+   results are journal-invariant (the replay-equality tests). Read
+   through the Config registry (the sanctioned boundary). *)
+let env_dir () = Config.checkpoint_dir ()
 
 (* MCX_FAULT_RATE turns on fault *injection* for the fault-tolerance
    tests; injected crashes are retried/journaled, never silently folded
-   into results. Blessed as a transitive-nondet boundary. *)
-let env_fault_rate () =
-  match Sys.getenv_opt "MCX_FAULT_RATE" with
-  | Some s -> (
-    match float_of_string_opt (String.trim s) with
-    | Some r when r > 0. -> Float.min r 1.
-    | Some _ | None -> 0.)
-  | None -> 0.
-[@@mcx.lint.allow "transitive-nondet"]
+   into results. A rate outside [0, 1] is a hard Config.Invalid error
+   now, not a silent clamp. *)
+let env_fault_rate () = Config.fault_rate ()
 
 let start ?dir ~experiment ~seed () =
   Printexc.record_backtrace true;

@@ -40,6 +40,21 @@
 exception Injected_fault
 (** The deterministic fault raised by [MCX_FAULT_RATE] injection. *)
 
+exception
+  Config_mismatch of {
+    path : string;
+    journal_digest : string;
+    current_digest : string;
+  }
+(** Raised when opening a journal whose header records a different
+    [mcx-config/1] digest (see {!Config.digest}) than the current knob
+    state — resuming would silently mix results produced under two
+    configurations. Overridable with [--force-resume] /
+    [MCX_FORCE_RESUME=1] ({!Config.force_resume}), which warns on
+    stderr and proceeds; journals written before config snapshots
+    existed also warn and proceed. A printer is registered, so an
+    uncaught mismatch prints the recovery options. *)
+
 (** Serialization for one trial's result. [decode (encode v)] must be
     [Some v] with [v] bit-exact — the byte-identical-resume guarantee
     rests on it. Build record codecs with {!Codec.conv}. *)

@@ -345,7 +345,7 @@ module Snapshot = struct
               ("buckets", Json_out.List sparse);
             ])
 
-  let to_json ?(times = true) t =
+  let to_json ?(times = true) ?config t =
     let family_json f =
       Json_out.Obj
         ([ ("name", Json_out.Str f.name); ("type", Json_out.Str (kind_name f.kind)) ]
@@ -354,10 +354,9 @@ module Snapshot = struct
     in
     let kept = List.filter (fun f -> times || not f.measured) t in
     Json_out.Obj
-      [
-        ("schema", Json_out.Str "mcx-metrics/1");
-        ("metrics", Json_out.List (List.map family_json kept));
-      ]
+      ([ ("schema", Json_out.Str "mcx-metrics/1") ]
+      @ (match config with None -> [] | Some c -> [ ("config", c) ])
+      @ [ ("metrics", Json_out.List (List.map family_json kept)) ])
 end
 
 let snapshot () =

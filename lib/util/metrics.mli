@@ -124,10 +124,14 @@ module Snapshot : sig
       the [_count] line of a histogram is emitted and [measured]
       families are dropped. *)
 
-  val to_json : ?times:bool -> t -> Json_out.t
+  val to_json : ?times:bool -> ?config:Json_out.t -> t -> Json_out.t
   (** The [mcx-metrics/1] document (schema in EXPERIMENTS.md). Histogram
       buckets are sparse [[index, count]] pairs; with [times = false],
-      histogram [sum_ns]/[buckets] and [measured] families are omitted. *)
+      histogram [sum_ns]/[buckets] and [measured] families are omitted.
+      [?config] (an [mcx-config/1] snapshot) is emitted as a [config]
+      member after [schema] — callers on the deterministic projection
+      should pass {!Config.snapshot}[ ~semantic_only:true ()] so the
+      document stays byte-identical across job counts. *)
 end
 
 val snapshot : unit -> Snapshot.t

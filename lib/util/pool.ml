@@ -16,20 +16,10 @@ let clamp_jobs n = max 1 (min 64 n)
 
 (* MCX_JOBS / the machine's core count select how much parallelism to
    use, never what gets computed: results are job-count-invariant (the
-   "jobs 1 = jobs 4" tests). Blessed as a transitive-nondet boundary so
-   drivers reaching this through Pool don't each need an annotation. *)
-let default_jobs () =
-  let from_env =
-    match Sys.getenv_opt "MCX_JOBS" with
-    | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> Some n
-      | _ -> None)
-    | None -> None
-  in
-  clamp_jobs
-    (match from_env with Some n -> n | None -> Domain.recommended_domain_count ())
-[@@mcx.lint.allow "transitive-nondet"]
+   "jobs 1 = jobs 4" tests). The knob lives in the Config registry; its
+   resolution (env value or recommended_domain_count, clamped) is
+   Config.jobs_resolved, behind the sanctioned Config barrier. *)
+let default_jobs () = Config.jobs_resolved ()
 
 (* Inside a worker task, nested map calls must not block on the shared
    queue (every worker could end up waiting for helpers nobody is free to
@@ -184,16 +174,9 @@ type 'a outcome =
 
 (* MCX_TRIAL_RETRIES bounds how often a crashing trial is re-attempted;
    a trial that succeeds computes the same value at any attempt count, so
-   this is an operational knob, not an input. Blessed as a
-   transitive-nondet boundary (see default_jobs). *)
-let default_retries () =
-  match Sys.getenv_opt "MCX_TRIAL_RETRIES" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some r when r >= 0 -> min r 16
-    | Some _ | None -> 2)
-  | None -> 2
-[@@mcx.lint.allow "transitive-nondet"]
+   this is an operational knob, not an input. Read (validated, capped at
+   16) through the Config registry. *)
+let default_retries () = Config.trial_retries ()
 
 let map_isolated pool ?retries n f =
   let retries = match retries with Some r -> max 0 r | None -> default_retries () in

@@ -307,7 +307,7 @@ module Report = struct
       t.counters;
     table
 
-  let chrome_trace t =
+  let chrome_trace ?config t =
     let tids = List.sort_uniq Int.compare (List.map fst t.events) in
     let meta =
       Json_out.Obj
@@ -353,13 +353,14 @@ module Report = struct
         ("displayTimeUnit", Json_out.Str "ms");
         ( "otherData",
           Json_out.Obj
-            [
-              ("schema", Json_out.Str "mcx-trace/1");
-              ("dropped_events", Json_out.Int t.dropped);
-              ( "counters",
-                Json_out.Obj
-                  (List.map (fun (name, n) -> (name, Json_out.Int n)) t.counters) );
-            ] );
+            ([
+               ("schema", Json_out.Str "mcx-trace/1");
+               ("dropped_events", Json_out.Int t.dropped);
+               ( "counters",
+                 Json_out.Obj
+                   (List.map (fun (name, n) -> (name, Json_out.Int n)) t.counters) );
+             ]
+            @ match config with None -> [] | Some c -> [ ("config", c) ]) );
       ]
 end
 
@@ -396,15 +397,17 @@ let snapshot () =
         { Report.spans; counters; events; dropped = b.dropped })
     Report.empty buffers
 
-let times_from_env () =
-  match Sys.getenv_opt "MCX_TRACE_TIMES" with Some "0" -> false | _ -> true
+let times_from_env () = Config.trace_times ()
 
 let install ?(out = stderr) ~trace () =
   enable ~events:true ();
   at_exit (fun () ->
       if !enabled_flag then begin
         let report = snapshot () in
-        Json_out.write_file trace (Report.chrome_trace report);
+        (* The trace carries timestamps anyway, so its embedded config
+           snapshot is the full one, operational knobs included. *)
+        Json_out.write_file trace
+          (Report.chrome_trace ~config:(Config.snapshot ()) report);
         let times = times_from_env () in
         Printf.fprintf out "[mcx] telemetry: chrome trace written to %s\n" trace;
         output_string out (Texttable.render (Report.summary_table ~times report));
@@ -412,6 +415,6 @@ let install ?(out = stderr) ~trace () =
       end)
 
 let install_from_env () =
-  match Sys.getenv_opt "MCX_TRACE" with
-  | Some path when String.trim path <> "" -> install ~trace:path ()
-  | Some _ | None -> ()
+  match Config.trace () with
+  | Some path -> install ~trace:path ()
+  | None -> ()

@@ -123,11 +123,14 @@ module Report : sig
       row per counter. With [times = false] (the deterministic
       projection) only name and calls/count columns are rendered. *)
 
-  val chrome_trace : t -> Json_out.t
+  val chrome_trace : ?config:Json_out.t -> t -> Json_out.t
   (** Chrome trace-event JSON ([traceEvents] of ["ph": "X"] complete
       events, microsecond timestamps relative to {!enable}, one [tid]
       per recording domain, plus thread-name metadata; counter totals
-      ride in [otherData]). Schema documented in EXPERIMENTS.md. *)
+      ride in [otherData]). [?config] (an [mcx-config/1] snapshot, see
+      {!Config.snapshot}) is appended to [otherData] when given —
+      {!install} passes the full snapshot so a trace records the knob
+      state that produced it. Schema documented in EXPERIMENTS.md. *)
 end
 
 val snapshot : unit -> Report.t
@@ -143,10 +146,12 @@ val install : ?out:out_channel -> trace:string -> unit -> unit
     for the summary. *)
 
 val times_from_env : unit -> bool
-(** [false] iff [MCX_TRACE_TIMES=0]: the process-wide "render only the
-    deterministic projection" switch shared by the telemetry summary,
-    the {!Metrics} exporters and the serving access log. *)
+(** [false] iff [MCX_TRACE_TIMES] parses false ({!Config.trace_times}):
+    the process-wide "render only the deterministic projection" switch
+    shared by the telemetry summary, the {!Metrics} exporters and the
+    serving access log. *)
 
 val install_from_env : unit -> unit
-(** [install] from [MCX_TRACE] when set and non-empty; otherwise do
-    nothing (telemetry stays off at a single branch per record call). *)
+(** [install] from [MCX_TRACE] ({!Config.trace}) when set and
+    non-empty; otherwise do nothing (telemetry stays off at a single
+    branch per record call). *)

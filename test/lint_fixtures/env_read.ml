@@ -1,0 +1,9 @@
+(* raw-env-read: expected at lines 3, 5 and 7. *)
+
+let direct () = Sys.getenv "MCX_JOBS"
+
+let opt () = Sys.getenv_opt "MCX_CHECKPOINT"
+
+let via_unix () = Unix.getenv "MCX_TRACE"
+
+let suppressed () = (Sys.getenv "HOME" [@mcx.lint.allow "raw-env-read"])

@@ -93,7 +93,7 @@ let check name project () =
   end
 
 let () =
-  match Sys.getenv_opt "MCX_GOLDEN_REGEN" with
+  match Mcx.Util.Config.golden_regen () with
   | Some dir -> regen dir
   | None ->
     Alcotest.run "golden"

@@ -93,6 +93,10 @@ let test_hygiene_deprecated () =
   check_fixture "hyg_deprecated_use.ml" [ (3, "hygiene-deprecated") ];
   check_fixture "hyg_deprecated_def.ml" []
 
+let test_raw_env_read () =
+  check_fixture "env_read.ml"
+    [ (3, "raw-env-read"); (5, "raw-env-read"); (7, "raw-env-read") ]
+
 let test_floating_allow_suppresses_file () = check_fixture "suppress_file.ml" []
 
 (* --- suppression via lint.allow -------------------------------------- *)
@@ -129,7 +133,7 @@ let test_allow_file_suppresses_fixtures () =
 
 let test_rule_registry () =
   let ids = Lint.Rules.ids in
-  Alcotest.(check int) "16 rules" 16 (List.length ids);
+  Alcotest.(check int) "17 rules" 17 (List.length ids);
   Alcotest.(check int) "ids unique" (List.length ids)
     (List.length (List.sort_uniq String.compare ids));
   List.iter (fun id -> Alcotest.(check bool) id true (Lint.Rules.mem id)) ids;
@@ -166,7 +170,15 @@ let test_rule_scoping () =
   Alcotest.(check bool) "stderr ok outside instrumented layers" false
     (applies "output-stderr-print" "lib/logic/cube.ml");
   Alcotest.(check bool) "stderr banned in fixtures" true
-    (applies "output-stderr-print" "test/lint_fixtures/out_stderr.ml")
+    (applies "output-stderr-print" "test/lint_fixtures/out_stderr.ml");
+  Alcotest.(check bool) "env read ok in the registry" false
+    (applies "raw-env-read" "lib/util/config.ml");
+  Alcotest.(check bool) "env read banned elsewhere in lib" true
+    (applies "raw-env-read" "lib/util/pool.ml");
+  Alcotest.(check bool) "env read banned in tests" true
+    (applies "raw-env-read" "test/test_golden.ml");
+  Alcotest.(check bool) "env read banned in fixtures" true
+    (applies "raw-env-read" "test/lint_fixtures/env_read.ml")
 
 let test_only_filter () =
   let config =
@@ -481,6 +493,7 @@ let () =
           Alcotest.test_case "hygiene-obj-magic" `Quick test_hygiene_obj_magic;
           Alcotest.test_case "hygiene-catchall" `Quick test_hygiene_catchall;
           Alcotest.test_case "hygiene-deprecated" `Quick test_hygiene_deprecated;
+          Alcotest.test_case "raw-env-read" `Quick test_raw_env_read;
         ] );
       ( "suppression",
         [

@@ -520,7 +520,7 @@ let test_report_load_access () =
         Alcotest.(check bool) "error cites the line number" true (contains ":2:"))
 
 let () =
-  match Sys.getenv_opt "MCX_GOLDEN_REGEN" with
+  match Mcx_util.Config.golden_regen () with
   | Some dir ->
     let path = Filename.concat dir "serve_responses.golden" in
     write_file path (serve_golden ());
